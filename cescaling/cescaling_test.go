@@ -1,0 +1,134 @@
+package cescaling_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/cescaling"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	w, err := cescaling.ModelByName("MobileNet-Cifar10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := cescaling.New(w)
+	runner := cescaling.NewRunner(42)
+
+	tune, err := fw.RunHPT(16, 2, 2, cescaling.Options{Budget: 1e9, Seed: 1}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tune.Run.BestTrial == nil {
+		t.Fatal("tuning returned no winner")
+	}
+
+	train, err := fw.Train(cescaling.Options{Budget: 100, Seed: 2}, cescaling.NewRunner(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !train.Result.Converged {
+		t.Fatal("training did not converge")
+	}
+}
+
+func TestModelsExposed(t *testing.T) {
+	if len(cescaling.Models()) != 5 {
+		t.Errorf("Models() returned %d, want 5", len(cescaling.Models()))
+	}
+	if _, err := cescaling.ModelByName("nope"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestStorageServicesExposed(t *testing.T) {
+	svcs := cescaling.StorageServices()
+	if len(svcs) != 4 {
+		t.Fatalf("StorageServices returned %d, want 4", len(svcs))
+	}
+	kinds := map[cescaling.StorageKind]bool{}
+	for _, s := range svcs {
+		kinds[s.Kind()] = true
+	}
+	for _, k := range []cescaling.StorageKind{cescaling.S3, cescaling.DynamoDB, cescaling.ElastiCache, cescaling.VMPS} {
+		if !kinds[k] {
+			t.Errorf("missing service %v", k)
+		}
+	}
+}
+
+func TestParetoExposed(t *testing.T) {
+	w, _ := cescaling.ModelByName("LR-Higgs")
+	fw := cescaling.New(w)
+	front := cescaling.Pareto(fw.Full)
+	if len(front) == 0 || len(front) > len(fw.Full) {
+		t.Errorf("front size %d of %d", len(front), len(fw.Full))
+	}
+}
+
+func TestBaselinesExposed(t *testing.T) {
+	w, _ := cescaling.ModelByName("MobileNet-Cifar10")
+	fw := cescaling.New(w)
+	stages := cescaling.SHAStages(64, 2, 2)
+	res, err := cescaling.Baselines.LambdaMLPlan(fw.Model, stages, fw.Pareto, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Stages) != len(stages) {
+		t.Error("baseline plan has wrong stage count")
+	}
+}
+
+func TestPredictorsExposed(t *testing.T) {
+	w, _ := cescaling.ModelByName("ResNet50-Cifar10")
+	off := cescaling.NewOffline(w)
+	if est := off.PredictEpochs(w.TargetLoss, 1); est < 1 {
+		t.Errorf("offline estimate %d", est)
+	}
+	on := cescaling.NewOnline()
+	for e := 1; e <= 6; e++ {
+		on.Observe(e, 1.0/float64(e)+0.2)
+	}
+	if _, ok := on.PredictTotalEpochs(0.3); !ok {
+		t.Error("online prediction unavailable")
+	}
+}
+
+func TestClusterExposed(t *testing.T) {
+	w, _ := cescaling.ModelByName("MobileNet-Cifar10")
+	runner := cescaling.NewRunner(51)
+	outs, err := cescaling.RunCluster(runner, []cescaling.ClusterSubmission{
+		{
+			Name: "only",
+			Config: cescaling.TrainJob{
+				Workload:   w,
+				Engine:     w.NewEngine(cescaling.Hyperparams{LR: w.DefaultLR}, 51),
+				Alloc:      cescaling.Allocation{N: 10, MemMB: 1769, Storage: cescaling.S3},
+				TargetLoss: w.TargetLoss,
+				MaxEpochs:  400,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || !outs[0].Result.Converged {
+		t.Fatalf("cluster run: %+v", outs)
+	}
+}
+
+func TestTraceCSVExposed(t *testing.T) {
+	w, _ := cescaling.ModelByName("MobileNet-Cifar10")
+	out, err := cescaling.New(w).Train(cescaling.Options{Budget: 1e6, Seed: 61}, cescaling.NewRunner(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cescaling.WriteTraceCSV(&buf, out.Result.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "epoch,loss") {
+		t.Errorf("trace header missing: %q", buf.String()[:40])
+	}
+}

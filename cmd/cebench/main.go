@@ -1,0 +1,82 @@
+// Command cebench regenerates the paper's evaluation artifacts on the
+// simulated substrate.
+//
+// Usage:
+//
+//	cebench [-seed N] <experiment-id>... | all | list
+//
+// Experiment ids follow the paper's numbering: fig3, fig4, fig7, fig9,
+// fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19,
+// fig20, fig21a, fig21b, fig21c, tab1, tab2, tab4.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 2023, "deterministic experiment seed")
+	format := flag.String("format", "text", "output format: text | json | csv | html")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv] <experiment-id>... | all | list\n\nexperiments:\n")
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(os.Stderr, "  %s\n", id)
+		}
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs()
+	}
+	exit := 0
+	var collected []*experiments.Table
+	for _, id := range ids {
+		start := time.Now()
+		tab, err := experiments.Run(id, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: %s: %v\n", id, err)
+			exit = 1
+			continue
+		}
+		switch *format {
+		case "json", "html":
+			collected = append(collected, tab)
+		case "csv":
+			fmt.Print(tab.CSV())
+			fmt.Println()
+		default:
+			fmt.Print(tab.String())
+			fmt.Printf("(generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
+	switch {
+	case *format == "json" && len(collected) > 0:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: encoding: %v\n", err)
+			exit = 1
+		}
+	case *format == "html" && len(collected) > 0:
+		fmt.Print(experiments.HTMLReport(collected))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,260 @@
+// Command cescale produces CE-scaling resource allocation plans as JSON —
+// the configuration file the paper's implementation feeds to Lambda
+// (§IV-A "CE-scaling outputs a configuration file in JSON").
+//
+// Usage:
+//
+//	cescale -model LR-Higgs -mode train -budget 5
+//	cescale -model MobileNet-Cifar10 -mode tune -trials 512 -qos 7200
+//	cescale -model BERT-IMDb -mode profile
+//
+// Modes:
+//
+//	profile  print the workload's Pareto boundary (epoch time/cost per θ)
+//	tune     plan hyperparameter tuning: one allocation per SHA stage
+//	train    pick the initial training allocation from the offline estimate
+//	run      execute a full training job on the simulated substrate and
+//	         report the measured JCT, cost and allocation timeline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/cescaling"
+)
+
+type allocJSON struct {
+	Functions int    `json:"functions"`
+	MemoryMB  int    `json:"memory_mb"`
+	Storage   string `json:"storage"`
+}
+
+type pointJSON struct {
+	Alloc         allocJSON `json:"allocation"`
+	EpochTimeSec  float64   `json:"epoch_time_sec"`
+	EpochCostUSD  float64   `json:"epoch_cost_usd"`
+	ParetoOptimal bool      `json:"pareto_optimal"`
+}
+
+type stageJSON struct {
+	Stage  int       `json:"stage"`
+	Trials int       `json:"trials"`
+	Epochs int       `json:"epochs"`
+	Alloc  allocJSON `json:"allocation"`
+}
+
+type tuneJSON struct {
+	Model        string      `json:"model"`
+	Constraint   string      `json:"constraint"`
+	Stages       []stageJSON `json:"stages"`
+	PredictedJCT float64     `json:"predicted_jct_sec"`
+	PredictedUSD float64     `json:"predicted_cost_usd"`
+	Feasible     bool        `json:"feasible"`
+}
+
+type phaseJSON struct {
+	Epochs int       `json:"epochs"`
+	Alloc  allocJSON `json:"allocation"`
+}
+
+type runJSON struct {
+	Model         string      `json:"model"`
+	Constraint    string      `json:"constraint"`
+	Converged     bool        `json:"converged"`
+	Epochs        int         `json:"epochs"`
+	FinalLoss     float64     `json:"final_loss"`
+	JCTSec        float64     `json:"jct_sec"`
+	ComputeSec    float64     `json:"compute_sec"`
+	SyncSec       float64     `json:"sync_sec"`
+	OverheadSec   float64     `json:"overhead_sec"`
+	CostUSD       float64     `json:"cost_usd"`
+	FunctionUSD   float64     `json:"function_cost_usd"`
+	StorageUSD    float64     `json:"storage_cost_usd"`
+	Restarts      int         `json:"restarts"`
+	OfflineEpochs int         `json:"offline_epoch_estimate"`
+	Timeline      []phaseJSON `json:"allocation_timeline"`
+}
+
+type trainJSON struct {
+	Model            string    `json:"model"`
+	Constraint       string    `json:"constraint"`
+	OfflineEpochs    int       `json:"offline_epoch_estimate"`
+	InitialAlloc     allocJSON `json:"initial_allocation"`
+	Delta            float64   `json:"delta"`
+	DelayedRestart   bool      `json:"delayed_restart"`
+	ParetoCandidates int       `json:"pareto_candidates"`
+}
+
+func toAllocJSON(a cescaling.Allocation) allocJSON {
+	return allocJSON{Functions: a.N, MemoryMB: a.MemMB, Storage: a.Storage.String()}
+}
+
+func main() {
+	var (
+		model  = flag.String("model", "LR-Higgs", "workload (LR-Higgs, SVM-Higgs, MobileNet-Cifar10, ResNet50-Cifar10, BERT-IMDb, LR-YFCC, SVM-YFCC)")
+		mode   = flag.String("mode", "profile", "profile | tune | train")
+		budget = flag.Float64("budget", 0, "budget constraint in USD (minimize JCT)")
+		qos    = flag.Float64("qos", 0, "QoS deadline in seconds (minimize cost)")
+		trials = flag.Int("trials", 512, "tuning trial population")
+		eta    = flag.Int("eta", 2, "SHA reduction factor")
+		epochs = flag.Int("stage-epochs", 2, "epochs per tuning stage")
+		seed   = flag.Uint64("seed", 2023, "deterministic seed")
+		trace  = flag.String("trace", "", "run mode: also write the per-epoch trace to this CSV file")
+	)
+	flag.Parse()
+
+	w, err := cescaling.ModelByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+	fw := cescaling.New(w)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+
+	switch *mode {
+	case "profile":
+		onFront := map[cescaling.Allocation]bool{}
+		for _, p := range fw.Pareto {
+			onFront[p.Alloc] = true
+		}
+		out := make([]pointJSON, 0, len(fw.Full))
+		for _, p := range fw.Full {
+			out = append(out, pointJSON{
+				Alloc: toAllocJSON(p.Alloc), EpochTimeSec: p.Time, EpochCostUSD: p.Cost,
+				ParetoOptimal: onFront[p.Alloc],
+			})
+		}
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+
+	case "tune":
+		res, pl, err := fw.PlanHPT(*trials, *eta, *epochs, cescaling.Options{Budget: *budget, QoS: *qos, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		stages := cescaling.SHAStages(*trials, *eta, *epochs)
+		out := tuneJSON{
+			Model: w.Name, Constraint: constraintString(*budget, *qos),
+			PredictedJCT: res.JCT, PredictedUSD: res.Cost, Feasible: res.Feasible,
+		}
+		for i, a := range res.Plan.Stages {
+			out.Stages = append(out.Stages, stageJSON{
+				Stage: i + 1, Trials: stages[i].Trials, Epochs: stages[i].Epochs,
+				Alloc: toAllocJSON(a),
+			})
+		}
+		_ = pl
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+
+	case "train":
+		if (*budget > 0) == (*qos > 0) {
+			fatal(fmt.Errorf("train mode needs exactly one of -budget or -qos"))
+		}
+		off := cescaling.NewOffline(w)
+		est := off.PredictEpochs(w.TargetLoss, *seed)
+		// Reuse the framework's candidate selection by planning the initial
+		// allocation the way the adaptive scheduler would.
+		best, ok := pickInitial(fw, *budget, *qos, est)
+		if !ok {
+			fatal(fmt.Errorf("no feasible allocation for %s under the constraint", w.Name))
+		}
+		out := trainJSON{
+			Model: w.Name, Constraint: constraintString(*budget, *qos),
+			OfflineEpochs: est, InitialAlloc: toAllocJSON(best),
+			Delta: 0.1, DelayedRestart: true, ParetoCandidates: len(fw.Pareto),
+		}
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+
+	case "run":
+		if (*budget > 0) == (*qos > 0) {
+			fatal(fmt.Errorf("run mode needs exactly one of -budget or -qos"))
+		}
+		out, err := fw.Train(cescaling.Options{Budget: *budget, QoS: *qos, Seed: *seed}, cescaling.NewRunner(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		r := out.Result
+		rep := runJSON{
+			Model: w.Name, Constraint: constraintString(*budget, *qos),
+			Converged: r.Converged, Epochs: r.Epochs, FinalLoss: r.FinalLoss,
+			JCTSec: r.JCT, ComputeSec: r.ComputeTime, SyncSec: r.SyncTime, OverheadSec: r.OverheadTime,
+			CostUSD: r.TotalCost, FunctionUSD: r.FunctionCost, StorageUSD: r.StorageCost,
+			Restarts: r.Restarts, OfflineEpochs: out.OfflineEstimate,
+		}
+		// Compress the trace into allocation phases.
+		for i := 0; i < len(r.Trace); {
+			j := i
+			for j < len(r.Trace) && r.Trace[j].Alloc == r.Trace[i].Alloc {
+				j++
+			}
+			rep.Timeline = append(rep.Timeline, phaseJSON{Epochs: j - i, Alloc: toAllocJSON(r.Trace[i].Alloc)})
+			i = j
+		}
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cescaling.WriteTraceCSV(f, r.Trace); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "cescale: wrote %d-epoch trace to %s\n", len(r.Trace), *trace)
+		}
+
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func pickInitial(fw *cescaling.Framework, budget, qos float64, est int) (cescaling.Allocation, bool) {
+	bestVal := -1.0
+	var best cescaling.Allocation
+	found := false
+	for _, p := range fw.Pareto {
+		t := float64(est) * p.Time
+		c := float64(est) * p.Cost
+		if budget > 0 {
+			if c > budget {
+				continue
+			}
+			if !found || t < bestVal {
+				bestVal, best, found = t, p.Alloc, true
+			}
+		} else {
+			if t > qos {
+				continue
+			}
+			if !found || c < bestVal {
+				bestVal, best, found = c, p.Alloc, true
+			}
+		}
+	}
+	return best, found
+}
+
+func constraintString(budget, qos float64) string {
+	if budget > 0 {
+		return fmt.Sprintf("budget $%.2f", budget)
+	}
+	return fmt.Sprintf("qos %.0fs", qos)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cescale: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Hyperparameter tuning: run Successive Halving over MobileNet learning
+// rates under a budget, comparing CE-scaling's greedy heuristic resource
+// partitioning against the optimal static plan.
+//
+// Run with:
+//
+//	go run ./examples/hyperparam
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cescaling"
+)
+
+const (
+	trials         = 64
+	eta            = 2
+	epochsPerStage = 2
+	seed           = 7
+)
+
+func main() {
+	w, err := cescaling.ModelByName("MobileNet-Cifar10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := cescaling.New(w)
+	stages := cescaling.SHAStages(trials, eta, epochsPerStage)
+	fmt.Printf("tuning %s: %d trials, %d stages, %d epochs per stage\n\n",
+		w.Name, trials, len(stages), epochsPerStage)
+
+	// A budget 30% above the cheapest static plan: tight enough that
+	// partitioning matters.
+	static, _, err := fw.PlanHPT(trials, eta, epochsPerStage, cescaling.Options{QoS: 1e15, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := static.Cost * 1.3
+
+	// CE-scaling's greedy heuristic planner recycles resources from early
+	// stages (where most trials will be terminated) to later stages.
+	plan, _, err := fw.PlanHPT(trials, eta, epochsPerStage, cescaling.Options{Budget: budget, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budget $%.2f — planned partitioning (CE-scaling):\n", budget)
+	fmt.Printf("%-6s %-8s %-34s %s\n", "stage", "trials", "allocation", "")
+	for i, a := range plan.Plan.Stages {
+		fmt.Printf("%-6d %-8d %-34v\n", i+1, stages[i].Trials, a)
+	}
+	fmt.Printf("predicted JCT %.0fs, predicted cost $%.2f (feasible=%v)\n\n",
+		plan.JCT, plan.Cost, plan.Feasible)
+
+	// Execute the tuning workflow on the simulated substrate.
+	out, err := fw.RunHPT(trials, eta, epochsPerStage, cescaling.Options{Budget: budget, Seed: seed}, cescaling.NewRunner(seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := out.Run
+	fmt.Printf("executed: JCT %.0fs, cost $%.2f\n", run.JCT, run.TotalCost)
+	fmt.Printf("winner: trial %d with lr=%.5f momentum=%.2f (loss %.4f after %d epochs)\n",
+		run.BestTrial.ID, run.BestTrial.HP.LR, run.BestTrial.HP.Momentum,
+		run.BestTrial.Loss, run.BestTrial.Epochs)
+	fmt.Printf("the optimum learning rate for this workload is %.5f\n\n", w.LROpt)
+
+	fmt.Println("per-stage execution:")
+	fmt.Printf("%-6s %-8s %-7s %-12s %s\n", "stage", "trials", "waves", "wall time", "cost")
+	for _, st := range run.Stages {
+		fmt.Printf("%-6d %-8d %-7d %-12s $%.2f\n",
+			st.Stage+1, st.Trials, st.Waves, fmt.Sprintf("%.0fs", st.WallTime), st.Cost)
+	}
+}

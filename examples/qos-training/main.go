@@ -1,0 +1,69 @@
+// QoS-driven training: train BERT-base to its target loss under a deadline,
+// watching the adaptive scheduler react to online convergence predictions
+// (Algorithm 2) with delayed restarts.
+//
+// Run with:
+//
+//	go run ./examples/qos-training
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cescaling"
+)
+
+func main() {
+	w, err := cescaling.ModelByName("BERT-IMDb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := cescaling.New(w)
+
+	// Find the fastest possible run to set a realistic deadline.
+	fast, err := fw.Train(cescaling.Options{Budget: 1e15, Seed: 3}, cescaling.NewRunner(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	qos := fast.Result.JCT * 2
+	fmt.Printf("fastest possible run: %.0fs for $%.2f\n", fast.Result.JCT, fast.Result.TotalCost)
+	fmt.Printf("deadline set to 2x that: %.0fs — now minimize cost\n\n", qos)
+
+	// Train under the deadline with full adaptivity.
+	out, err := fw.Train(cescaling.Options{QoS: qos, Seed: 3}, cescaling.NewRunner(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := out.Result
+	fmt.Printf("adaptive run: JCT %.0fs (deadline %.0fs), cost $%.2f — %.0f%% cheaper than the fastest run\n",
+		r.JCT, qos, r.TotalCost, 100*(fast.Result.TotalCost-r.TotalCost)/fast.Result.TotalCost)
+	fmt.Printf("offline epoch estimate: %d; actual epochs: %d; restarts: %d; planning time: %.1fs\n\n",
+		out.OfflineEstimate, r.Epochs, r.Restarts, r.PlanningTime)
+
+	// Show the allocation timeline: every allocation the scheduler used.
+	fmt.Println("allocation timeline:")
+	var cur cescaling.Allocation
+	start := 1
+	for i, e := range r.Trace {
+		if i == 0 {
+			cur = e.Alloc
+			continue
+		}
+		if e.Alloc != cur {
+			fmt.Printf("  epochs %3d-%3d: %v\n", start, i, cur)
+			cur = e.Alloc
+			start = i + 1
+		}
+	}
+	fmt.Printf("  epochs %3d-%3d: %v\n", start, len(r.Trace), cur)
+
+	// The ablation: the same run without delayed restart pays the full
+	// stop-reload-restart price on every adjustment.
+	noDR, err := fw.Train(cescaling.Options{QoS: qos, Seed: 3, DisableDelayedRestart: true}, cescaling.NewRunner(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwithout delayed restart: overhead %.1fs vs %.1fs with it\n",
+		noDR.Result.OverheadTime, r.OverheadTime)
+}

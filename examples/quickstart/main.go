@@ -1,0 +1,88 @@
+// Quickstart: train logistic regression on a Higgs-like dataset with
+// CE-scaling under a budget, and compare against a static allocation.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cescaling"
+)
+
+func main() {
+	// 1. Pick a workload and profile it: the Pareto profiler enumerates
+	//    (functions, memory, storage) allocations and prunes the cost-JCT
+	//    plane to its Pareto boundary.
+	w, err := cescaling.ModelByName("LR-Higgs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := cescaling.New(w)
+	fmt.Printf("workload: %s (dataset %s, %.0f MB, model %.3f MB)\n",
+		w.Name, w.Dataset.Name, w.Dataset.SizeMB, w.ParamsMB)
+	fmt.Printf("profiled %d allocations, Pareto boundary keeps %d\n\n", len(fw.Full), len(fw.Pareto))
+
+	// 2. Train with the adaptive scheduler under a budget: CE-scaling
+	//    starts from an offline estimate, fits the convergence curve
+	//    online, and re-allocates when predictions drift.
+	const budget = 0.50 // dollars
+	out, err := fw.Train(cescaling.Options{Budget: budget, Seed: 42}, cescaling.NewRunner(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := out.Result
+	fmt.Printf("CE-scaling under $%.2f budget:\n", budget)
+	fmt.Printf("  converged:  %v (loss %.4f, target %.2f)\n", r.Converged, r.FinalLoss, w.TargetLoss)
+	fmt.Printf("  epochs:     %d (offline estimate was %d)\n", r.Epochs, out.OfflineEstimate)
+	fmt.Printf("  JCT:        %.1fs  (compute %.1fs, sync %.1fs, overhead %.1fs)\n",
+		r.JCT, r.ComputeTime, r.SyncTime, r.OverheadTime)
+	fmt.Printf("  cost:       $%.4f (functions $%.4f, storage $%.4f, invocations $%.4f)\n",
+		r.TotalCost, r.FunctionCost, r.StorageCost, r.InvokeCost)
+	fmt.Printf("  restarts:   %d (delayed restart enabled)\n\n", r.Restarts)
+
+	// 3. Compare with a static baseline: the cheapest single allocation
+	//    fitting the same budget, never adjusted.
+	static := staticBaseline(fw, budget, r.Epochs)
+	if static != nil {
+		fmt.Printf("static baseline (best fixed allocation under the same budget):\n")
+		fmt.Printf("  allocation: %v\n", static.Trace[0].Alloc)
+		fmt.Printf("  JCT:        %.1fs   cost: $%.4f\n", static.JCT, static.TotalCost)
+		fmt.Printf("  CE-scaling JCT reduction: %.0f%%\n",
+			100*(static.JCT-r.JCT)/static.JCT)
+	}
+}
+
+// staticBaseline trains the same workload with the single cheapest Pareto
+// allocation whose projected cost fits the budget.
+func staticBaseline(fw *cescaling.Framework, budget float64, epochs int) *cescaling.TrainResult {
+	w := fw.Workload
+	var best *cescaling.Point
+	for i := range fw.Pareto {
+		p := &fw.Pareto[i]
+		if float64(epochs)*p.Cost > budget {
+			continue
+		}
+		if best == nil || p.Time < best.Time {
+			best = p
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	runner := cescaling.NewRunner(43)
+	res, err := runner.Run(cescaling.TrainJob{
+		Workload:   w,
+		Engine:     w.NewEngine(cescaling.Hyperparams{LR: w.DefaultLR}, 42),
+		Alloc:      best.Alloc,
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  500,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}

@@ -1,0 +1,191 @@
+// Serverless workers end to end: take CE-scaling's allocation decision,
+// register a training-worker function with the local serverless executor,
+// fan out one invocation per function in the plan, and let the workers run
+// real BSP SGD through an HTTP object store — the whole Fig. 1 pipeline
+// with actual code in the functions.
+//
+// Run with:
+//
+//	go run ./examples/serverless-workers
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"repro/cescaling"
+	"repro/internal/dataset"
+	"repro/internal/distml"
+	"repro/internal/lambda"
+	"repro/internal/ml"
+	"repro/internal/objstore"
+	"repro/internal/sim"
+)
+
+// workerPayload is the configuration each function invocation receives —
+// the analogue of the JSON configuration file the paper's implementation
+// hands to Lambda.
+type workerPayload struct {
+	WorkerID int     `json:"worker_id"`
+	Workers  int     `json:"workers"`
+	Rounds   int     `json:"rounds"`
+	Batch    int     `json:"batch"`
+	LR       float64 `json:"lr"`
+	StoreURL string  `json:"store_url"`
+	Seed     uint64  `json:"seed"`
+}
+
+func main() {
+	// 1. CE-scaling decides the shape of the job. We only borrow its
+	//    function count here: this example executes with real goroutine
+	//    workers, so the memory/storage dimensions are fixed by the host.
+	w, err := cescaling.ModelByName("LR-Higgs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := cescaling.New(w)
+	var plan cescaling.Point
+	for _, p := range fw.Pareto {
+		if p.Alloc.N <= 8 { // keep the local fan-out tractable
+			plan = p
+			break
+		}
+	}
+	if plan.Alloc.N == 0 {
+		plan = fw.Pareto[len(fw.Pareto)-1]
+	}
+	n := plan.Alloc.N
+	if n > 8 {
+		n = 8
+	}
+	fmt.Printf("CE-scaling picked %v; fanning out %d worker functions locally\n\n", plan.Alloc, n)
+
+	// 2. A real object store for parameter synchronization.
+	store := objstore.NewServer()
+	ts := httptest.NewServer(store)
+	defer ts.Close()
+
+	// 3. The training data, sharded exactly as the functions will see it.
+	data := dataset.GenerateBinary(sim.NewRand(5), dataset.GenConfig{
+		Samples: 1600, Features: 12, NoiseFlip: 0.05,
+	})
+	shards := data.Partition(n)
+	const (
+		rounds = 40
+		batch  = 40
+		lr     = 0.5
+	)
+
+	// 4. Register the worker function: one invocation trains one shard for
+	//    the full job, synchronizing per round through the store (the
+	//    stateless (3n-2) pattern; worker 0 aggregates).
+	inv := lambda.NewInvoker(64)
+	err = inv.Register("train-worker", lambda.Registration{
+		MemoryMB: plan.Alloc.MemMB,
+		Timeout:  time.Minute,
+		Handler: func(c lambda.Context, payload []byte) ([]byte, error) {
+			var p workerPayload
+			if err := json.Unmarshal(payload, &p); err != nil {
+				return nil, err
+			}
+			client := objstore.NewClient(p.StoreURL)
+			worker := ml.NewWorker(shards[p.WorkerID], sim.NewRand(p.Seed+uint64(p.WorkerID)))
+			obj := ml.Logistic{}
+			for round := 0; round < p.Rounds; round++ {
+				model, err := waitModel(client, round)
+				if err != nil {
+					return nil, err
+				}
+				grad := worker.Gradient(obj, model, p.Batch)
+				if err := client.Put(fmt.Sprintf("grads/%d/%d", round, p.WorkerID), distml.EncodeVec(grad)); err != nil {
+					return nil, err
+				}
+				if p.WorkerID == 0 {
+					sum := make([]float64, len(model))
+					for j := 0; j < p.Workers; j++ {
+						g, err := waitKey(client, fmt.Sprintf("grads/%d/%d", round, j))
+						if err != nil {
+							return nil, err
+						}
+						ml.Add(g, sum)
+					}
+					ml.Axpy(-p.LR/float64(p.Workers), sum, model)
+					if err := client.Put(fmt.Sprintf("model/%d", round+1), distml.EncodeVec(model)); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return []byte(fmt.Sprintf("worker %d done (%s start)", p.WorkerID, startKind(c.Cold))), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Seed the model and invoke the whole group, like the paper's
+	//    configuration file invoking n functions.
+	client := objstore.NewClient(ts.URL)
+	if err := client.Put("model/0", distml.EncodeVec(make([]float64, data.Cols))); err != nil {
+		log.Fatal(err)
+	}
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i], _ = json.Marshal(workerPayload{
+			WorkerID: i, Workers: n, Rounds: rounds, Batch: batch, LR: lr,
+			StoreURL: ts.URL, Seed: 5,
+		})
+	}
+	start := time.Now()
+	results, err := inv.Map("train-worker", payloads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("worker %d: %v", r.Index, r.Err)
+		}
+		fmt.Printf("  %s\n", r.Response)
+	}
+
+	// 6. Inspect the result.
+	final, err := waitKey(client, fmt.Sprintf("model/%d", rounds))
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss := ml.Logistic{}.Loss(final, data)
+	st := store.Stats()
+	is := inv.Stats()
+	fmt.Printf("\ntrained %d rounds across %d functions in %s\n", rounds, n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("final full-data logloss: %.4f\n", loss)
+	fmt.Printf("storage requests: %d PUTs, %d GETs\n", st.Puts, st.Gets)
+	fmt.Printf("executor: %d invocations, %d cold starts, %d ms billed\n",
+		is.Invocations, is.ColdStarts, is.BilledMS)
+}
+
+func startKind(cold bool) string {
+	if cold {
+		return "cold"
+	}
+	return "warm"
+}
+
+func waitModel(c *objstore.Client, round int) ([]float64, error) {
+	return waitKey(c, fmt.Sprintf("model/%d", round))
+}
+
+func waitKey(c *objstore.Client, key string) ([]float64, error) {
+	for i := 0; i < 200000; i++ {
+		data, ok, err := c.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return distml.DecodeVec(data)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return nil, fmt.Errorf("key %s never appeared", key)
+}

@@ -1,0 +1,88 @@
+// Storage explorer: train one model under each external storage service and
+// see how latency, bandwidth, pricing pattern and synchronization pattern
+// shape JCT and cost (the paper's Finding 3 / Table II / Fig. 18).
+//
+// Run with:
+//
+//	go run ./examples/storage-explorer [model]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/cescaling"
+)
+
+func main() {
+	name := "MobileNet-Cifar10"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	w, err := cescaling.ModelByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := cescaling.New(w)
+
+	fmt.Printf("model %s: %.3f MB of parameters synchronized per BSP iteration\n\n", w.Name, w.ParamsMB)
+	fmt.Println("service characteristics (Table I):")
+	fmt.Printf("%-12s %-8s %-8s %-15s %s\n", "service", "scaling", "latency", "pricing", "sync pattern")
+	for _, s := range cescaling.StorageServices() {
+		c := s.Characterize()
+		pattern := "(2n-2) transfers"
+		if s.Stateless() {
+			pattern = "(3n-2) transfers"
+		}
+		fmt.Printf("%-12s %-8s %-8s %-15s %s\n", c.Name, c.ElasticScaling, c.LatencyClass, c.PricingPattern, pattern)
+	}
+	fmt.Println()
+
+	// Fix the classic 10 functions x 1769 MB allocation and swap storages.
+	fmt.Println("training to target under 10 functions x 1769MB, one storage at a time:")
+	fmt.Printf("%-12s %-10s %-12s %-10s %-12s %s\n", "storage", "JCT", "sync time", "cost", "storage $", "note")
+	var s3 *cescaling.TrainResult
+	for _, svc := range cescaling.StorageServices() {
+		kind := svc.Kind()
+		if !svc.Supports(w.ParamsMB) {
+			fmt.Printf("%-12s %-10s %-12s %-10s %-12s %s\n", kind, "N/A", "", "", "", "model exceeds object size limit")
+			continue
+		}
+		runner := cescaling.NewRunner(11)
+		res, err := runner.Run(cescaling.TrainJob{
+			Workload:   w,
+			Engine:     w.NewEngine(cescaling.Hyperparams{LR: w.DefaultLR}, 11),
+			Alloc:      cescaling.Allocation{N: 10, MemMB: 1769, Storage: kind},
+			TargetLoss: w.TargetLoss,
+			MaxEpochs:  500,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if kind == cescaling.S3 {
+			s3 = res
+			note = "baseline"
+		} else if s3 != nil {
+			note = fmt.Sprintf("JCT %.2fx, cost %.2fx of S3", res.JCT/s3.JCT, res.TotalCost/s3.TotalCost)
+		}
+		fmt.Printf("%-12s %-10s %-12s %-10s %-12s %s\n",
+			kind,
+			fmt.Sprintf("%.0fs", res.JCT),
+			fmt.Sprintf("%.0fs", res.SyncTime),
+			fmt.Sprintf("$%.3f", res.TotalCost),
+			fmt.Sprintf("$%.4f", res.StorageCost),
+			note)
+	}
+	fmt.Println()
+
+	// What CE-scaling itself would pick, given freedom over all storages.
+	out, err := fw.Train(cescaling.Options{QoS: 1e15, Seed: 11}, cescaling.NewRunner(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := out.Result.Trace[len(out.Result.Trace)-1]
+	fmt.Printf("CE-scaling's own cost-minimizing pick: %v ($%.3f, %.0fs)\n",
+		last.Alloc, out.Result.TotalCost, out.Result.JCT)
+}

@@ -1,0 +1,73 @@
+// End-to-end workflow (the paper's Fig. 1): hyperparameter tuning followed
+// by training the winner, under one overall budget — then the same jobs
+// submitted as contending tenants on a shared account.
+//
+// Run with:
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/cescaling"
+)
+
+func main() {
+	w, err := cescaling.ModelByName("MobileNet-Cifar10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := cescaling.New(w)
+
+	// 1. One budget covers both phases; tuning reserves 60% by default.
+	const budget = 600.0
+	out, err := fw.RunWorkflow(cescaling.WorkflowOptions{
+		Budget: budget,
+		Trials: 64,
+		Seed:   9,
+	}, cescaling.NewRunner(9))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workflow for %s under a $%.0f budget:\n\n", w.Name, budget)
+	fmt.Printf("phase 1 — hyperparameter tuning (64 trials, SHA):\n")
+	fmt.Printf("  winner: lr=%.5f momentum=%.2f (loss %.4f)\n",
+		out.BestHyperparams.LR, out.BestHyperparams.Momentum, out.Tune.Run.BestTrial.Loss)
+	fmt.Printf("  spent:  %.0fs, $%.2f\n\n", out.Tune.Run.JCT, out.Tune.Run.TotalCost)
+
+	fmt.Printf("phase 2 — training the winner to loss %.2f:\n", w.TargetLoss)
+	fmt.Printf("  converged: %v in %d epochs\n", out.Train.Result.Converged, out.Train.Result.Epochs)
+	fmt.Printf("  spent:     %.0fs, $%.2f\n\n", out.Train.Result.JCT, out.Train.Result.TotalCost)
+
+	fmt.Printf("total: %.0fs, $%.2f (within budget: %v)\n\n",
+		out.TotalJCT, out.TotalCost, out.WithinConstraint)
+
+	// 2. The multi-tenant view: four such training jobs sharing one
+	//    3000-function account contend for concurrency and queue.
+	fmt.Println("multi-tenant: four 1500-function jobs on one account:")
+	runner := cescaling.NewRunner(10)
+	var subs []cescaling.ClusterSubmission
+	for i := 0; i < 4; i++ {
+		subs = append(subs, cescaling.ClusterSubmission{
+			Name:    fmt.Sprintf("tenant-%d", i+1),
+			Arrival: float64(i) * 60,
+			Config: cescaling.TrainJob{
+				Workload:   w,
+				Engine:     w.NewEngine(out.BestHyperparams, uint64(20+i)),
+				Alloc:      cescaling.Allocation{N: 1500, MemMB: 1769, Storage: cescaling.ElastiCache},
+				TargetLoss: w.TargetLoss,
+				MaxEpochs:  400,
+			},
+		})
+	}
+	outs, err := cescaling.RunCluster(runner, subs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range outs {
+		fmt.Printf("  %s: queued %.0fs, turnaround %.0fs, converged %v\n",
+			o.Name, o.QueueDelay, o.TurnaroundTime(), o.Result.Converged)
+	}
+}

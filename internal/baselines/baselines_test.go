@@ -1,0 +1,243 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/planner"
+	"repro/internal/predictor"
+	"repro/internal/storage"
+	"repro/internal/trainer"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T, w *workload.Model) (*cost.Model, []cost.Point, []planner.Stage) {
+	t.Helper()
+	m := cost.NewModel(w)
+	points := m.Enumerate(cost.DefaultGrid())
+	pareto := cost.Pareto(points)
+	return m, pareto, planner.SHAStages(512, 2, 2)
+}
+
+func TestFilterByStorage(t *testing.T) {
+	w := workload.LRHiggs()
+	m := cost.NewModel(w)
+	points := m.Enumerate(cost.DefaultGrid())
+	for _, kind := range storage.Kinds() {
+		sub := FilterByStorage(points, kind)
+		for _, p := range sub {
+			if p.Alloc.Storage != kind {
+				t.Fatalf("filter leaked %v into %v subset", p.Alloc.Storage, kind)
+			}
+		}
+		if len(sub) == 0 {
+			t.Errorf("no %v allocations for LR", kind)
+		}
+	}
+}
+
+func TestLambdaMLPlanUsesOnlyS3(t *testing.T) {
+	w := workload.MobileNet()
+	m, pareto, stages := setup(t, w)
+	res, err := LambdaMLPlan(m, stages, pareto, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Plan.Stages {
+		if a.Storage != storage.S3 {
+			t.Errorf("stage %d uses %v, want S3", i, a.Storage)
+		}
+	}
+	// Static: all stages identical.
+	for _, a := range res.Plan.Stages[1:] {
+		if a != res.Plan.Stages[0] {
+			t.Error("LambdaML plan is not static")
+		}
+	}
+}
+
+func TestSirenPlanBiasesEarlyStages(t *testing.T) {
+	w := workload.MobileNet()
+	m, pareto, stages := setup(t, w)
+	static, err := LambdaMLPlan(m, stages, pareto, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := static.Cost * 1.4
+	siren, err := SirenPlan(m, stages, pareto, budget, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siren.Cost > budget*(1+1e-9) {
+		t.Errorf("Siren plan cost %g violates budget %g", siren.Cost, budget)
+	}
+	// Early stages should be at least as expensive per epoch as late ones.
+	first := m.EpochCost(siren.Plan.Stages[0])
+	last := m.EpochCost(siren.Plan.Stages[len(stages)-1])
+	if first < last {
+		t.Errorf("Siren early-stage epoch cost %g below late %g; bias missing", first, last)
+	}
+}
+
+func TestCirrusPlanUsesOnlyVMPS(t *testing.T) {
+	w := workload.MobileNet()
+	m, pareto, stages := setup(t, w)
+	res, err := CirrusPlan(m, stages, pareto, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range res.Plan.Stages {
+		if a.Storage != storage.VMPS {
+			t.Errorf("stage %d uses %v, want VM-PS", i, a.Storage)
+		}
+	}
+}
+
+func TestPlansErrorWithoutCandidates(t *testing.T) {
+	w := workload.MobileNet()
+	m, _, stages := setup(t, w)
+	if _, err := LambdaMLPlan(m, stages, nil, 1, 0); err == nil {
+		t.Error("empty candidate set should error")
+	}
+}
+
+func TestSirenTrainingRestartsOften(t *testing.T) {
+	w := workload.MobileNet()
+	m, _, _ := setup(t, w)
+	full := m.Enumerate(cost.DefaultGrid())
+	siren := NewSirenTraining(full, 1e9, 0, 30, 3)
+	r := trainer.NewRunner(4)
+	alloc := siren.Initial()
+	if alloc.Storage != storage.S3 {
+		t.Fatalf("Siren initial storage = %v, want S3", alloc.Storage)
+	}
+	res, err := r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, 5),
+		Alloc:      alloc,
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  200,
+		Controller: siren.Controller(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("Siren run did not converge (loss %g)", res.FinalLoss)
+	}
+	// Exploration noise at every epoch: expect restarts on a large
+	// fraction of epochs.
+	if res.Restarts < res.Epochs/4 {
+		t.Errorf("Siren restarted %d times over %d epochs; per-epoch adjustment missing", res.Restarts, res.Epochs)
+	}
+	for _, e := range res.Trace {
+		if e.Alloc.Storage != storage.S3 {
+			t.Fatal("Siren switched off S3")
+		}
+	}
+}
+
+func TestSirenRespectsBudgetStop(t *testing.T) {
+	w := workload.BERT()
+	m, _, _ := setup(t, w)
+	full := m.Enumerate(cost.DefaultGrid())
+	siren := NewSirenTraining(full, 0.5, 0, 30, 3)
+	r := trainer.NewRunner(5)
+	res, err := r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, 5),
+		Alloc:      siren.Initial(),
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  300,
+		Controller: siren.Controller(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs >= 300 {
+		t.Error("Siren should stop when the budget is exhausted")
+	}
+}
+
+func TestModifiedCirrusPinnedToVMPS(t *testing.T) {
+	w := workload.MobileNet()
+	m, pareto, _ := setup(t, w)
+	sched := ModifiedCirrus(m, pareto, 1e9, 0, w.TargetLoss, predictor.NewOffline(w), 7)
+	alloc, _ := sched.Initial()
+	if alloc.Storage != storage.VMPS {
+		t.Fatalf("modified Cirrus initial storage = %v, want VM-PS", alloc.Storage)
+	}
+	r := trainer.NewRunner(6)
+	res, err := r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, 6),
+		Alloc:      alloc,
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  300,
+		Controller: sched.Controller(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("modified Cirrus did not converge")
+	}
+	for _, e := range res.Trace {
+		if e.Alloc.Storage != storage.VMPS {
+			t.Fatal("modified Cirrus left VM-PS")
+		}
+	}
+}
+
+func TestStaticPlanPinnedEachService(t *testing.T) {
+	w := workload.LRHiggs() // small model: every service is feasible
+	m := cost.NewModel(w)
+	points := m.Enumerate(cost.DefaultGrid())
+	stages := planner.SHAStages(64, 2, 2)
+	for _, kind := range storage.Kinds() {
+		res, err := StaticPlanPinned(m, stages, points, kind, 1e9, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		for _, a := range res.Plan.Stages {
+			if a.Storage != kind {
+				t.Fatalf("pinned %v plan used %v", kind, a.Storage)
+			}
+		}
+	}
+}
+
+func TestSirenPlanPinnedVMPS(t *testing.T) {
+	w := workload.MobileNet()
+	m := cost.NewModel(w)
+	points := m.Enumerate(cost.DefaultGrid())
+	stages := planner.SHAStages(128, 2, 2)
+	static, err := StaticPlanPinned(m, stages, points, storage.VMPS, 1e9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := static.Cost * 1.4
+	res, err := SirenPlanPinned(m, stages, points, storage.VMPS, budget, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > budget*(1+1e-9) {
+		t.Errorf("pinned Siren cost %g violates budget %g", res.Cost, budget)
+	}
+	for _, a := range res.Plan.Stages {
+		if a.Storage != storage.VMPS {
+			t.Fatal("pinned Siren left VM-PS")
+		}
+	}
+}
+
+func TestModifiedCirrusPinnedS3(t *testing.T) {
+	w := workload.MobileNet()
+	m := cost.NewModel(w)
+	points := m.Enumerate(cost.DefaultGrid())
+	sched := ModifiedCirrusPinned(m, points, storage.S3, 1e9, 0, w.TargetLoss, predictor.NewOffline(w), 3)
+	alloc, _ := sched.Initial()
+	if alloc.Storage != storage.S3 {
+		t.Fatalf("pinned-S3 Cirrus initial storage = %v", alloc.Storage)
+	}
+}

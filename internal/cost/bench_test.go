@@ -1,0 +1,29 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func BenchmarkEnumerate(b *testing.B) {
+	m := NewModel(workload.MobileNet())
+	g := DefaultGrid()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := m.Enumerate(g); len(pts) == 0 {
+			b.Fatal("no points")
+		}
+	}
+}
+
+func BenchmarkPareto(b *testing.B) {
+	m := NewModel(workload.MobileNet())
+	pts := m.Enumerate(DefaultGrid())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if front := Pareto(pts); len(front) == 0 {
+			b.Fatal("no front")
+		}
+	}
+}

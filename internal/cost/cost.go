@@ -1,0 +1,274 @@
+// Package cost implements the paper's analytical models (§III-B): the
+// execution time (Eq. 2-3) and monetary cost (Eq. 4-5) of one epoch of a
+// serverless ML workflow under a resource allocation θ = (n, m, s), the
+// enumeration of the allocation space Θ (Eq. 1), and the Pareto boundary of
+// the cost-JCT plane used to prune bad allocations (Fig. 7).
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/faas"
+	"repro/internal/pricing"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Allocation is one point θ = (n, m, s) of the allocation space.
+type Allocation struct {
+	N       int          // number of functions
+	MemMB   int          // function memory size
+	Storage storage.Kind // external storage service
+}
+
+func (a Allocation) String() string {
+	return fmt.Sprintf("(n=%d, mem=%dMB, %s)", a.N, a.MemMB, a.Storage)
+}
+
+// Model is the analytic estimator for one workload. It is what the
+// scheduler *believes*; the simulator in internal/trainer is the ground
+// truth the estimates are validated against (Fig. 19-20).
+type Model struct {
+	Workload *workload.Model
+	Prices   pricing.PriceBook
+	Limits   faas.Limits
+
+	// LoadMBps is B_S3 of Eq. 2: the bandwidth at which functions load
+	// their dataset partitions from object storage.
+	LoadMBps float64
+
+	// StragglerSigma is the per-function log-normal compute-noise sigma the
+	// model assumes when estimating the BSP barrier penalty (matching
+	// trainer.DefaultNoise); the epoch waits for the slowest of n
+	// functions, so expected compute time inflates with n. Zero disables
+	// the correction.
+	StragglerSigma float64
+
+	services map[storage.Kind]*storage.Service
+}
+
+// NewModel returns an analytic model for w under default prices and limits.
+func NewModel(w *workload.Model) *Model {
+	return NewModelWith(w, pricing.Default(), faas.DefaultLimits())
+}
+
+// NewModelWith returns an analytic model with explicit prices and limits.
+func NewModelWith(w *workload.Model, pb pricing.PriceBook, limits faas.Limits) *Model {
+	m := &Model{Workload: w, Prices: pb, Limits: limits, LoadMBps: 80,
+		StragglerSigma: 0.05,
+		services:       make(map[storage.Kind]*storage.Service)}
+	for _, k := range storage.ExtendedKinds() {
+		m.services[k] = storage.New(k, pb)
+	}
+	return m
+}
+
+// Service returns the storage model for kind.
+func (m *Model) Service(kind storage.Kind) *storage.Service { return m.services[kind] }
+
+// Feasible reports whether θ can run the workload at all: the function
+// memory must be allocatable and hold the data partition, the storage must
+// accept the model size, and the function count must fit the concurrency
+// cap.
+func (m *Model) Feasible(a Allocation) bool {
+	if a.N < 1 || a.N > m.Limits.MaxConcurrency {
+		return false
+	}
+	if m.Limits.ValidateMemory(a.MemMB) != nil {
+		return false
+	}
+	if !m.Workload.Feasible(a.N, a.MemMB) {
+		return false
+	}
+	return m.services[a.Storage].Supports(m.Workload.ParamsMB)
+}
+
+// Iterations returns k = D/(n*b_z), the BSP iterations per epoch.
+func (m *Model) Iterations(a Allocation) int {
+	return m.Workload.IterationsPerEpoch(a.N)
+}
+
+// LoadTime returns t^l: the time for each function to load its data
+// partition from object storage (Eq. 2 first term, D/(n*B_S3)).
+func (m *Model) LoadTime(a Allocation) float64 {
+	return m.Workload.Dataset.PartitionSizeMB(a.N) / m.LoadMBps
+}
+
+// ComputeTime returns the per-epoch gradient computation time: each
+// function processes its D/n partition once per epoch at u(m) seconds/MB,
+// inflated by the expected BSP straggler penalty (the barrier waits for the
+// slowest of n functions).
+func (m *Model) ComputeTime(a Allocation) float64 {
+	base := m.Workload.Dataset.PartitionSizeMB(a.N) * m.Workload.U(a.MemMB)
+	return base * m.stragglerFactor(a.N)
+}
+
+// stragglerFactor approximates E[max of n lognormal(0, sigma)] as
+// exp(sigma * sqrt(2 ln n)).
+func (m *Model) stragglerFactor(n int) float64 {
+	if m.StragglerSigma <= 0 || n <= 1 {
+		return 1
+	}
+	return math.Exp(m.StragglerSigma * math.Sqrt(2*math.Log(float64(n))))
+}
+
+// SyncTime returns the per-epoch parameter synchronization time:
+// k * t^p(θ) with t^p from Eq. 3.
+func (m *Model) SyncTime(a Allocation) float64 {
+	svc := m.services[a.Storage]
+	return float64(m.Iterations(a)) * svc.SyncTime(a.N, m.Workload.ParamsMB)
+}
+
+// EpochTime returns t'(θ) for a steady-state epoch (compute + sync; the
+// one-time load and startup are accounted by JobTime).
+func (m *Model) EpochTime(a Allocation) float64 {
+	return m.ComputeTime(a) + m.SyncTime(a)
+}
+
+// FunctionEpochCost returns the per-epoch compute bill: n functions each
+// running the epoch duration at p_f(m) (Eq. 4 second term).
+func (m *Model) FunctionEpochCost(a Allocation) float64 {
+	return float64(a.N) * m.Prices.ComputeOnlyCost(m.EpochTime(a), float64(a.MemMB))
+}
+
+// StorageEpochCost returns c^s per epoch (Eq. 5): request charges for the
+// k synchronizations (request-charged services) or the epoch's runtime
+// share (runtime-charged services).
+func (m *Model) StorageEpochCost(a Allocation) float64 {
+	svc := m.services[a.Storage]
+	if svc.ChargeModel() == storage.ByRequest {
+		return float64(m.Iterations(a)) * svc.SyncRequestCost(a.N, m.Workload.ParamsMB)
+	}
+	return svc.RuntimeCost(m.EpochTime(a))
+}
+
+// EpochCost returns c'(θ): the full per-epoch bill.
+func (m *Model) EpochCost(a Allocation) float64 {
+	return m.FunctionEpochCost(a) + m.StorageEpochCost(a)
+}
+
+// InvocationCost returns the one-time n*p_ivk charge for invoking the
+// function group (Eq. 4 first term), paid at start and on every restart.
+func (m *Model) InvocationCost(a Allocation) float64 {
+	return float64(a.N) * m.Prices.FunctionInvoke
+}
+
+// JobTime estimates the JCT of a training job of epochs epochs under one
+// fixed allocation: startup + provisioning + load + epochs * epoch time.
+func (m *Model) JobTime(a Allocation, epochs int) float64 {
+	start := m.startupTime(a)
+	return start + m.LoadTime(a) + float64(epochs)*m.EpochTime(a)
+}
+
+// StartupEstimate returns the deterministic startup latency of a fresh
+// function group under θ: the cold start (or the storage provisioning
+// delay when that dominates).
+func (m *Model) StartupEstimate(a Allocation) float64 { return m.startupTime(a) }
+
+func (m *Model) startupTime(a Allocation) float64 {
+	cold := faas.DefaultStartup()
+	t := cold.ColdBase + cold.ColdPerGB*float64(a.MemMB)/1024
+	if p := m.services[a.Storage].ProvisionDelay(); p > t {
+		t = p // storage provisioning overlaps function cold start
+	}
+	return t
+}
+
+// JobCost estimates the total bill of a training job of epochs epochs under
+// one fixed allocation.
+func (m *Model) JobCost(a Allocation, epochs int) float64 {
+	c := m.InvocationCost(a) + storage.LoadCost(m.Prices, a.N)
+	svc := m.services[a.Storage]
+	if svc.ChargeModel() == storage.ByRequest {
+		c += float64(epochs) * (m.FunctionEpochCost(a) + m.StorageEpochCost(a))
+	} else {
+		// Runtime-charged storage bills the whole JCT, not per-epoch slices.
+		c += float64(epochs)*m.FunctionEpochCost(a) + svc.RuntimeCost(m.JobTime(a, epochs))
+	}
+	// Functions also bill their load time.
+	c += float64(a.N) * m.Prices.ComputeOnlyCost(m.LoadTime(a), float64(a.MemMB))
+	return c
+}
+
+// Point is one allocation with its per-epoch estimates.
+type Point struct {
+	Alloc Allocation
+	Time  float64 // t'(θ) seconds per epoch
+	Cost  float64 // c'(θ) dollars per epoch
+}
+
+// Grid describes the allocation space to enumerate.
+type Grid struct {
+	Ns       []int
+	MemsMB   []int
+	Storages []storage.Kind
+}
+
+// DefaultGrid returns the candidate grid used throughout the evaluation:
+// function counts from 5 to 200, Lambda memory steps from 512 MB to 10 GB,
+// and all four storage services.
+func DefaultGrid() Grid {
+	return Grid{
+		Ns:       []int{5, 10, 15, 20, 25, 30, 40, 50, 75, 100, 150, 200},
+		MemsMB:   []int{512, 1024, 1769, 2048, 3072, 4096, 6144, 8192, 10240},
+		Storages: storage.Kinds(),
+	}
+}
+
+// Enumerate evaluates every feasible allocation of the grid.
+func (m *Model) Enumerate(g Grid) []Point {
+	var out []Point
+	for _, n := range g.Ns {
+		for _, mem := range g.MemsMB {
+			for _, s := range g.Storages {
+				a := Allocation{N: n, MemMB: mem, Storage: s}
+				if !m.Feasible(a) {
+					continue
+				}
+				out = append(out, Point{Alloc: a, Time: m.EpochTime(a), Cost: m.EpochCost(a)})
+			}
+		}
+	}
+	return out
+}
+
+// Pareto returns the Pareto boundary of points in the (time, cost) plane:
+// the subset not dominated by any other point (θ2 is dominated when some θ1
+// has both lower time and lower cost). The result is sorted by ascending
+// time (hence descending cost).
+func Pareto(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Cost < sorted[j].Cost
+	})
+	var front []Point
+	best := sorted[0].Cost + 1
+	for _, p := range sorted {
+		if p.Cost < best {
+			front = append(front, p)
+			best = p.Cost
+		}
+	}
+	return front
+}
+
+// ParetoSet enumerates the grid and returns its Pareto boundary — the 𝒫 of
+// Table III that every optimization searches instead of the full Θ.
+func (m *Model) ParetoSet(g Grid) []Point {
+	return Pareto(m.Enumerate(g))
+}
+
+// Dominates reports whether p strictly dominates q (better or equal in both
+// dimensions, strictly better in at least one).
+func Dominates(p, q Point) bool {
+	return p.Time <= q.Time && p.Cost <= q.Cost && (p.Time < q.Time || p.Cost < q.Cost)
+}

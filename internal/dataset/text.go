@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// TextCorpus is a synthetic sentiment corpus: token-id documents with ±1
+// labels, standing in for IMDb-style review data. Documents follow a
+// Zipf-like token distribution with a class-dependent bias over a sentiment
+// lexicon, so a linear classifier over token features is learnable but not
+// trivially separable.
+type TextCorpus struct {
+	Docs   [][]int
+	Labels []float64
+	Vocab  int
+}
+
+// TextConfig controls corpus generation.
+type TextConfig struct {
+	Docs   int
+	Vocab  int
+	AvgLen int
+	// LexiconFrac is the fraction of the vocabulary acting as sentiment
+	// tokens (half positive, half negative).
+	LexiconFrac float64
+	// Signal boosts the probability of class-consistent sentiment tokens;
+	// 0 means unlearnable, 2-4 gives IMDb-like difficulty.
+	Signal float64
+}
+
+// GenerateText produces a corpus under cfg using rng.
+func GenerateText(rng *sim.Rand, cfg TextConfig) *TextCorpus {
+	if cfg.Vocab < 10 {
+		cfg.Vocab = 10
+	}
+	if cfg.AvgLen < 4 {
+		cfg.AvgLen = 4
+	}
+	if cfg.LexiconFrac <= 0 || cfg.LexiconFrac > 0.5 {
+		cfg.LexiconFrac = 0.1
+	}
+	lexicon := int(float64(cfg.Vocab) * cfg.LexiconFrac)
+	if lexicon < 2 {
+		lexicon = 2
+	}
+	half := lexicon / 2
+
+	// Zipf-ish sampler over the vocabulary via inverse-CDF on 1/(rank+1).
+	cdf := make([]float64, cfg.Vocab)
+	total := 0.0
+	for i := range cdf {
+		total += 1 / float64(i+2)
+		cdf[i] = total
+	}
+	sample := func() int {
+		u := rng.Float64() * total
+		lo, hi := 0, cfg.Vocab-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	c := &TextCorpus{Vocab: cfg.Vocab}
+	for d := 0; d < cfg.Docs; d++ {
+		label := 1.0
+		if rng.Float64() < 0.5 {
+			label = -1
+		}
+		// Document length: geometric-ish around AvgLen.
+		length := 1 + int(rng.Exp(float64(cfg.AvgLen-1)))
+		doc := make([]int, 0, length)
+		for t := 0; t < length; t++ {
+			tok := sample()
+			// Class-consistent sentiment boost: re-draw sentiment tokens of
+			// the wrong polarity with probability proportional to Signal.
+			if tok < lexicon && cfg.Signal > 0 {
+				positive := tok < half
+				wants := label > 0
+				if positive != wants && rng.Float64() < cfg.Signal/(1+cfg.Signal) {
+					// Flip into the class-consistent half of the lexicon.
+					if wants {
+						tok = rng.Intn(half)
+					} else {
+						tok = half + rng.Intn(lexicon-half)
+					}
+				}
+			}
+			doc = append(doc, tok)
+		}
+		c.Docs = append(c.Docs, doc)
+		c.Labels = append(c.Labels, label)
+	}
+	return c
+}
+
+// AvgLen returns the mean document length.
+func (c *TextCorpus) AvgLen() float64 {
+	if len(c.Docs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, d := range c.Docs {
+		total += len(d)
+	}
+	return float64(total) / float64(len(c.Docs))
+}
+
+// Vectorize folds token counts into dim features with multiplicative
+// hashing (signed, feature-hashing style) and l2-normalizes each row,
+// returning a Matrix the SGD engine can train on directly.
+func (c *TextCorpus) Vectorize(dim int) *Matrix {
+	if dim < 2 {
+		dim = 2
+	}
+	m := &Matrix{Rows: len(c.Docs), Cols: dim,
+		X: make([]float64, len(c.Docs)*dim),
+		Y: append([]float64(nil), c.Labels...)}
+	for r, doc := range c.Docs {
+		row := m.X[r*dim : (r+1)*dim]
+		for _, tok := range doc {
+			h := hashToken(uint64(tok))
+			idx := int(h % uint64(dim))
+			sign := 1.0
+			if (h>>63)&1 == 1 {
+				sign = -1
+			}
+			row[idx] += sign
+		}
+		// l2 normalize so the learning rate is scale-free.
+		var norm float64
+		for _, v := range row {
+			norm += v * v
+		}
+		if norm > 0 {
+			inv := 1 / math.Sqrt(norm)
+			for i := range row {
+				row[i] *= inv
+			}
+		}
+	}
+	return m
+}
+
+// hashToken is splitmix64 over the token id (a stable stateless hash).
+func hashToken(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

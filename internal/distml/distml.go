@@ -1,0 +1,304 @@
+// Package distml runs Bulk Synchronous Parallel mini-batch SGD across real
+// concurrent workers exchanging gradients over the wire — the two
+// synchronization patterns of the paper's Fig. 5 made concrete:
+//
+//   - TrainObjectStore uses the stateless pattern over the HTTP object
+//     store (internal/objstore): every worker uploads its gradient, a
+//     designated worker downloads all of them, aggregates, and re-uploads
+//     the model, and every worker downloads it again — the (3n-2) transfers
+//     the analytical model charges stateless storage for;
+//   - TrainParamServer uses the parameter-server pattern over the TCP
+//     server (internal/psnet): each worker pushes once and pulls once, the
+//     server aggregates locally — the (2n-2) pattern.
+//
+// Both produce numerically real training: the in-process simulator in
+// internal/trainer models these exchanges' timing and billing, and this
+// package demonstrates the exchanges themselves working end to end.
+package distml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/objstore"
+	"repro/internal/psnet"
+	"repro/internal/sim"
+)
+
+// Config describes one distributed training run.
+type Config struct {
+	Objective   ml.Objective
+	Data        *dataset.Matrix
+	Workers     int
+	BatchPerWkr int
+	LR          float64
+	Epochs      int
+	Seed        uint64
+}
+
+func (c Config) validate() error {
+	if c.Objective == nil || c.Data == nil {
+		return fmt.Errorf("distml: nil objective or data")
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("distml: need at least one worker")
+	}
+	if c.Data.Rows < c.Workers {
+		return fmt.Errorf("distml: %d rows cannot feed %d workers", c.Data.Rows, c.Workers)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("distml: non-positive learning rate %g", c.LR)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("distml: need at least one epoch")
+	}
+	return nil
+}
+
+// Result reports a finished distributed run.
+type Result struct {
+	Weights   []float64
+	LossTrace []float64 // full-data loss after each epoch
+	Rounds    int       // BSP iterations executed
+}
+
+// EncodeVec serializes a float64 vector little-endian (the wire format for
+// gradients and models in the object store).
+func EncodeVec(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(f))
+	}
+	return out
+}
+
+// DecodeVec parses an EncodeVec payload.
+func DecodeVec(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("distml: payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// iterationsPerEpoch mirrors the in-memory trainer: each worker consumes
+// its shard once per epoch, batch rows at a time.
+func iterationsPerEpoch(shards []*dataset.Matrix, batch int) int {
+	min := shards[0].Rows
+	for _, s := range shards[1:] {
+		if s.Rows < min {
+			min = s.Rows
+		}
+	}
+	if batch <= 0 || batch > min {
+		batch = min
+	}
+	k := min / batch
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// TrainObjectStore runs the stateless-storage pattern against the object
+// store at client. Worker 0 is the designated aggregator.
+func TrainObjectStore(cfg Config, client *objstore.Client) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shards := cfg.Data.Partition(cfg.Workers)
+	k := iterationsPerEpoch(shards, cfg.BatchPerWkr)
+	dim := cfg.Data.Cols
+
+	// Seed the global model.
+	if err := client.Put("model/0", EncodeVec(make([]float64, dim))); err != nil {
+		return nil, err
+	}
+
+	workers := make([]*ml.Worker, cfg.Workers)
+	seedRng := sim.NewRand(cfg.Seed)
+	for i := range workers {
+		workers[i] = ml.NewWorker(shards[i], sim.NewRand(seedRng.Uint64()+uint64(i)))
+	}
+
+	res := &Result{}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	totalRounds := cfg.Epochs * k
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := workers[w]
+			for round := 0; round < totalRounds; round++ {
+				// Pull the round's model.
+				model, err := waitGet(client, fmt.Sprintf("model/%d", round))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// Compute and upload this worker's gradient.
+				grad := worker.Gradient(cfg.Objective, model, cfg.BatchPerWkr)
+				if err := client.Put(fmt.Sprintf("grads/%d/%d", round, w), EncodeVec(grad)); err != nil {
+					errs[w] = err
+					return
+				}
+				// The designated worker aggregates once all n gradients are
+				// visible and publishes the next model.
+				if w == 0 {
+					sum := make([]float64, dim)
+					for j := 0; j < cfg.Workers; j++ {
+						g, err := waitGet(client, fmt.Sprintf("grads/%d/%d", round, j))
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						ml.Add(g, sum)
+					}
+					ml.Axpy(-cfg.LR/float64(cfg.Workers), sum, model)
+					if err := client.Put(fmt.Sprintf("model/%d", round+1), EncodeVec(model)); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	final, err := waitGet(client, fmt.Sprintf("model/%d", totalRounds))
+	if err != nil {
+		return nil, err
+	}
+	res.Weights = final
+	res.Rounds = totalRounds
+	res.LossTrace = lossTrace(cfg, k, func(round int) ([]float64, error) {
+		return waitGet(client, fmt.Sprintf("model/%d", round))
+	})
+	return res, nil
+}
+
+// waitGet polls the store until key appears (the workers' "poll for the
+// aggregated model" step the paper's request accounting includes).
+func waitGet(client *objstore.Client, key string) ([]float64, error) {
+	for attempt := 0; ; attempt++ {
+		data, ok, err := client.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return DecodeVec(data)
+		}
+		if attempt > 100000 {
+			return nil, fmt.Errorf("distml: %s never appeared", key)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// lossTrace evaluates the full-data loss at each epoch boundary.
+func lossTrace(cfg Config, k int, modelAt func(round int) ([]float64, error)) []float64 {
+	var trace []float64
+	for e := 1; e <= cfg.Epochs; e++ {
+		model, err := modelAt(e * k)
+		if err != nil {
+			break
+		}
+		trace = append(trace, cfg.Objective.Loss(model, cfg.Data))
+	}
+	return trace
+}
+
+// TrainParamServer runs the parameter-server pattern against a psnet server
+// listening at addr.
+func TrainParamServer(cfg Config, addr string) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	shards := cfg.Data.Partition(cfg.Workers)
+	k := iterationsPerEpoch(shards, cfg.BatchPerWkr)
+	dim := cfg.Data.Cols
+	totalRounds := cfg.Epochs * k
+
+	workers := make([]*ml.Worker, cfg.Workers)
+	seedRng := sim.NewRand(cfg.Seed)
+	for i := range workers {
+		workers[i] = ml.NewWorker(shards[i], sim.NewRand(seedRng.Uint64()+uint64(i)))
+	}
+
+	// Epoch-boundary snapshots for the loss trace, captured by worker 0.
+	snapshots := make([][]float64, 0, cfg.Epochs)
+
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client, err := psnet.Dial(addr, w)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer client.Close()
+			if err := client.Init(make([]float64, dim)); err != nil {
+				errs[w] = err
+				return
+			}
+			worker := workers[w]
+			for round := 0; round < totalRounds; round++ {
+				model, srvRound, err := client.Pull()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if srvRound != round {
+					errs[w] = fmt.Errorf("distml: worker %d expected round %d, server at %d", w, round, srvRound)
+					return
+				}
+				grad := worker.Gradient(cfg.Objective, model, cfg.BatchPerWkr)
+				if _, err := client.Push(round, grad); err != nil {
+					errs[w] = err
+					return
+				}
+				if w == 0 && (round+1)%k == 0 {
+					m, _, err := client.Pull()
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					snapshots = append(snapshots, m)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Rounds: totalRounds}
+	for _, m := range snapshots {
+		res.LossTrace = append(res.LossTrace, cfg.Objective.Loss(m, cfg.Data))
+	}
+	if n := len(snapshots); n > 0 {
+		res.Weights = snapshots[n-1]
+	}
+	return res, nil
+}

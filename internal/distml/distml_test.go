@@ -1,0 +1,184 @@
+package distml
+
+import (
+	"math"
+	"net/http/httptest"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/objstore"
+	"repro/internal/psnet"
+	"repro/internal/sim"
+)
+
+func trainingData(t *testing.T) *dataset.Matrix {
+	t.Helper()
+	return dataset.GenerateBinary(sim.NewRand(11), dataset.GenConfig{Samples: 800, Features: 8})
+}
+
+func baseConfig(t *testing.T) Config {
+	return Config{
+		Objective:   ml.Logistic{},
+		Data:        trainingData(t),
+		Workers:     4,
+		BatchPerWkr: 50,
+		LR:          0.5,
+		Epochs:      6,
+		Seed:        3,
+	}
+}
+
+func TestEncodeDecodeVecRoundTrip(t *testing.T) {
+	if err := quick.Check(func(v []float64) bool {
+		got, err := DecodeVec(EncodeVec(v))
+		if err != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] && !(math.IsNaN(got[i]) && math.IsNaN(v[i])) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVecRejectsBadLength(t *testing.T) {
+	if _, err := DecodeVec(make([]byte, 7)); err == nil {
+		t.Error("odd payload should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := baseConfig(t)
+	cases := []func(*Config){
+		func(c *Config) { c.Objective = nil },
+		func(c *Config) { c.Data = nil },
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.Workers = 10000 },
+		func(c *Config) { c.LR = 0 },
+		func(c *Config) { c.Epochs = 0 },
+	}
+	for i, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestObjectStorePatternConverges(t *testing.T) {
+	srv := objstore.NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cfg := baseConfig(t)
+	res, err := TrainObjectStore(cfg, objstore.NewClient(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 800 rows / 4 workers = 200 rows per shard; 200/50 batch = 4
+	// iterations per epoch.
+	if want := cfg.Epochs * 4; res.Rounds != want {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, want)
+	}
+	if len(res.LossTrace) != cfg.Epochs {
+		t.Fatalf("loss trace has %d entries, want %d", len(res.LossTrace), cfg.Epochs)
+	}
+	first, last := res.LossTrace[0], res.LossTrace[len(res.LossTrace)-1]
+	if last >= first {
+		t.Errorf("loss did not decrease over the wire: %g -> %g", first, last)
+	}
+	if last > 0.35 {
+		t.Errorf("separable data should reach low loss, got %g", last)
+	}
+	// The pattern's request signature: n gradient PUTs + 1 model PUT per
+	// round (plus the seed), and polling GETs on top.
+	st := srv.Stats()
+	wantPuts := uint64(res.Rounds*(cfg.Workers+1) + 1)
+	if st.Puts != wantPuts {
+		t.Errorf("PUTs = %d, want %d", st.Puts, wantPuts)
+	}
+	if st.Gets <= uint64(res.Rounds*cfg.Workers) {
+		t.Errorf("GETs = %d; the stateless pattern must at least re-pull per worker per round", st.Gets)
+	}
+}
+
+func TestParamServerPatternConverges(t *testing.T) {
+	cfg := baseConfig(t)
+	ps, err := psnet.NewServer(cfg.Workers, cfg.LR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := ps.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	res, err := TrainParamServer(cfg, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Round() != res.Rounds {
+		t.Errorf("server completed %d rounds, client reports %d", ps.Round(), res.Rounds)
+	}
+	first, last := res.LossTrace[0], res.LossTrace[len(res.LossTrace)-1]
+	if last >= first || last > 0.35 {
+		t.Errorf("PS-pattern training did not converge: %g -> %g", first, last)
+	}
+	// The PS pattern's signature: exactly one push per worker per round.
+	pushes, _ := ps.Stats()
+	if pushes != int64(res.Rounds*cfg.Workers) {
+		t.Errorf("pushes = %d, want %d", pushes, res.Rounds*cfg.Workers)
+	}
+}
+
+func TestBothPatternsReachSimilarLoss(t *testing.T) {
+	// Same data, same worker count, same hyperparameters: the two wire
+	// patterns implement the same BSP algorithm, so final losses must land
+	// in the same neighborhood (batch orders differ, exact equality is not
+	// expected).
+	cfg := baseConfig(t)
+
+	srv := objstore.NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	objRes, err := TrainObjectStore(cfg, objstore.NewClient(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ps, _ := psnet.NewServer(cfg.Workers, cfg.LR)
+	addr, _ := ps.Listen("127.0.0.1:0")
+	defer ps.Close()
+	psRes, err := TrainParamServer(cfg, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := objRes.LossTrace[len(objRes.LossTrace)-1]
+	b := psRes.LossTrace[len(psRes.LossTrace)-1]
+	if math.Abs(a-b) > 0.15 {
+		t.Errorf("patterns diverged: objstore %g vs param-server %g", a, b)
+	}
+}
+
+func TestObjectStoreSingleWorker(t *testing.T) {
+	srv := objstore.NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cfg := baseConfig(t)
+	cfg.Workers = 1
+	res, err := TrainObjectStore(cfg, objstore.NewClient(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossTrace[len(res.LossTrace)-1] >= res.LossTrace[0] {
+		t.Error("single-worker run did not converge")
+	}
+}

@@ -1,0 +1,406 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/predictor"
+	"repro/internal/storage"
+	"repro/internal/trainer"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("fig12", fig12)
+	register("fig13", fig13)
+	register("fig15", fig15)
+	register("fig17", fig17)
+	register("fig18", fig18)
+	register("fig21b", fig21b)
+	register("fig21c", fig21c)
+}
+
+// trainRef probes two unconstrained CE runs to derive binding constraints:
+// cheapCost (a cost-minimizing run under a loose deadline) references
+// budgets, fastJCT (a JCT-minimizing run under a loose budget) references
+// QoS deadlines.
+type trainRefs struct {
+	cheapCost, cheapJCT float64
+	fastCost, fastJCT   float64
+}
+
+// budgetRef is a binding-but-workable budget: the geometric mean of the
+// cheapest and fastest runs' costs.
+func (r trainRefs) budgetRef() float64 { return sqrtProduct(r.cheapCost, r.fastCost) }
+
+// qosRef is a binding-but-workable deadline: the geometric mean of the
+// fastest and cheapest runs' JCTs.
+func (r trainRefs) qosRef() float64 { return sqrtProduct(r.fastJCT, r.cheapJCT) }
+
+func trainRef(fw *core.Framework, seed uint64) (trainRefs, error) {
+	cheap, err := fw.Train(core.Options{QoS: 1e15, Seed: seed}, trainer.NewRunner(seed))
+	if err != nil {
+		return trainRefs{}, err
+	}
+	fast, err := fw.Train(core.Options{Budget: 1e15, Seed: seed}, trainer.NewRunner(seed))
+	if err != nil {
+		return trainRefs{}, err
+	}
+	return trainRefs{
+		cheapCost: cheap.Result.TotalCost, cheapJCT: cheap.Result.JCT,
+		fastCost: fast.Result.TotalCost, fastJCT: fast.Result.JCT,
+	}, nil
+}
+
+// runCE runs CE-scaling training under opt.
+func runCE(fw *core.Framework, opt core.Options, runnerSeed uint64) (*trainer.Result, error) {
+	out, err := fw.Train(opt, trainer.NewRunner(runnerSeed))
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// runSiren runs the Siren baseline for the same workload/constraint.
+func runSiren(fw *core.Framework, budget, qos float64, seed uint64) (*trainer.Result, error) {
+	w := fw.Workload
+	est := predictor.NewOffline(w).PredictEpochs(w.TargetLoss, seed)
+	siren := baselines.NewSirenTraining(fw.Full, budget, qos, est, seed)
+	r := trainer.NewRunner(seed + 1)
+	return r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
+		Alloc:      siren.Initial(),
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  2000,
+		Controller: siren.Controller(),
+	})
+}
+
+// runModifiedCirrus runs the modified-Cirrus baseline (online prediction,
+// VM-PS pinned, immediate restarts).
+func runModifiedCirrus(fw *core.Framework, budget, qos float64, seed uint64) (*trainer.Result, error) {
+	w := fw.Workload
+	sched := baselines.ModifiedCirrus(fw.Model, fw.Full, budget, qos, w.TargetLoss, predictor.NewOffline(w), seed)
+	alloc, _ := sched.Initial()
+	if alloc.N == 0 {
+		return nil, fmt.Errorf("modified Cirrus: no feasible VM-PS allocation for %s", w.Name)
+	}
+	r := trainer.NewRunner(seed + 2)
+	return r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
+		Alloc:      alloc,
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  2000,
+		Controller: sched.Controller(),
+	})
+}
+
+var trainOrder = []string{"CE-scaling", "Siren", "Cirrus*"}
+
+// trainSystems runs the Fig. 12/13 system matrix for one model.
+func trainSystems(fw *core.Framework, budget, qos float64, seed uint64) (map[string]*trainer.Result, error) {
+	out := map[string]*trainer.Result{}
+	ce, err := runCE(fw, core.Options{Budget: budget, QoS: qos, Seed: seed}, seed)
+	if err != nil {
+		return nil, fmt.Errorf("CE: %w", err)
+	}
+	out["CE-scaling"] = ce
+	sir, err := runSiren(fw, budget, qos, seed)
+	if err != nil {
+		return nil, fmt.Errorf("Siren: %w", err)
+	}
+	out["Siren"] = sir
+	cir, err := runModifiedCirrus(fw, budget, qos, seed)
+	if err != nil {
+		return nil, fmt.Errorf("Cirrus*: %w", err)
+	}
+	out["Cirrus*"] = cir
+	return out, nil
+}
+
+// fig12 — training JCT given a budget, with the communication breakdown.
+func fig12(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Training JCT given a budget (executed; comm = synchronization share of JCT)",
+		Headers: []string{"model", "system", "JCT", "comm time", "comm share", "cost", "converged", "JCT vs Siren"},
+		Notes:   "budget = geometric mean of cost-minimizing and JCT-minimizing CE probes; Cirrus* = Cirrus modified with online prediction (VM-PS, immediate restarts); LambdaML omitted as in the paper (offline prediction violates constraints)",
+	}
+	for _, w := range workload.Evaluated() {
+		fw := core.New(w)
+		probe, err := trainRef(fw, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s probe: %w", w.Name, err)
+		}
+		budget := probe.budgetRef()
+		runs, err := trainSystems(fw, budget, 0, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		base := runs["Siren"].JCT
+		for _, sys := range trainOrder {
+			r := runs[sys]
+			t.Rows = append(t.Rows, []string{
+				w.Name, sys, seconds(r.JCT), seconds(r.SyncTime), pct(r.SyncTime / r.JCT),
+				dollars(r.TotalCost), fmt.Sprintf("%v", r.Converged),
+				pct(reduction(base, r.JCT)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig13 — training cost given a QoS constraint, with the storage breakdown.
+func fig13(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Training cost given a QoS constraint (executed; storage = storage share of cost)",
+		Headers: []string{"model", "system", "cost", "storage cost", "storage share", "JCT", "QoS", "cost vs Siren"},
+		Notes:   "QoS = geometric mean of the fastest and cheapest probes' JCTs",
+	}
+	for _, w := range workload.Evaluated() {
+		fw := core.New(w)
+		probe, err := trainRef(fw, seed)
+		if err != nil {
+			return nil, err
+		}
+		qos := probe.qosRef()
+		runs, err := trainSystems(fw, 0, qos, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		base := runs["Siren"].TotalCost
+		for _, sys := range trainOrder {
+			r := runs[sys]
+			t.Rows = append(t.Rows, []string{
+				w.Name, sys, dollars(r.TotalCost), dollars(r.StorageCost), pct(r.StorageCost / r.TotalCost),
+				seconds(r.JCT), seconds(qos),
+				pct(reduction(base, r.TotalCost)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig15 — training for LR-YFCC under varying budget and QoS constraints.
+func fig15(seed uint64) (*Table, error) {
+	w := workload.LRYFCC()
+	fw := core.New(w)
+	probe, err := trainRef(fw, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Training under varying constraints, LR-YFCC (executed)",
+		Headers: []string{"constraint", "system", "JCT", "cost", "converged"},
+		Notes:   "multiples of the geometric-mean reference constraints",
+	}
+	for _, mult := range []float64{0.6, 0.8, 1.0, 1.4} {
+		runs, err := trainSystems(fw, probe.budgetRef()*mult, 0, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range trainOrder {
+			r := runs[sys]
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("budget %.1fx", mult), sys, seconds(r.JCT), dollars(r.TotalCost), fmt.Sprintf("%v", r.Converged),
+			})
+		}
+	}
+	for _, mult := range []float64{0.6, 0.8, 1.0, 1.4} {
+		runs, err := trainSystems(fw, 0, probe.qosRef()*mult, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, sys := range trainOrder {
+			r := runs[sys]
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("QoS %.1fx", mult), sys, seconds(r.JCT), dollars(r.TotalCost), fmt.Sprintf("%v", r.Converged),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig17 — training with every system pinned to the same storage
+// (MobileNet-Cifar10).
+func fig17(seed uint64) (*Table, error) {
+	w := workload.MobileNet()
+	fw := core.New(w)
+	probe, err := trainRef(fw, seed)
+	if err != nil {
+		return nil, err
+	}
+	budget := probe.budgetRef()
+	t := &Table{
+		ID:      "fig17",
+		Title:   "Training with all systems pinned to the same storage, MobileNet-Cifar10 (executed)",
+		Headers: []string{"storage", "system", "JCT", "comm time", "cost", "storage cost"},
+		Notes:   "budget = 1.3x a cost-minimizing CE probe",
+	}
+	for _, kind := range []storage.Kind{storage.S3, storage.VMPS} {
+		k := kind
+		ce, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Siren keeps its per-epoch restart behaviour on the pinned set.
+		sirEst := predictor.NewOffline(w).PredictEpochs(w.TargetLoss, seed)
+		sir, err := runSirenPinned(fw, baselines.FilterByStorage(fw.Full, kind), budget, sirEst, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Cirrus: online prediction, immediate restarts, pinned storage.
+		cirSched := baselines.ModifiedCirrusPinned(fw.Model, fw.Full, kind, budget, 0, w.TargetLoss, predictor.NewOffline(w), seed)
+		cirAlloc, _ := cirSched.Initial()
+		r := trainer.NewRunner(seed + 5)
+		cir, err := r.Run(trainer.Config{
+			Workload: w, Engine: w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
+			Alloc: cirAlloc, TargetLoss: w.TargetLoss, MaxEpochs: 2000,
+			Controller: cirSched.Controller(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows := []struct {
+			name string
+			r    *trainer.Result
+		}{{"CE-scaling", ce}, {"Siren", sir}, {"Cirrus", cir}}
+		for _, row := range rows {
+			t.Rows = append(t.Rows, []string{
+				kind.String(), row.name, seconds(row.r.JCT), seconds(row.r.SyncTime),
+				dollars(row.r.TotalCost), dollars(row.r.StorageCost),
+			})
+		}
+	}
+	return t, nil
+}
+
+// runSirenPinned reproduces Siren's per-epoch adjustment behaviour over an
+// arbitrary pinned candidate set (used when Fig. 17 pins Siren to VM-PS).
+func runSirenPinned(fw *core.Framework, pts []cost.Point, budget float64, est int, seed uint64) (*trainer.Result, error) {
+	w := fw.Workload
+	siren := baselines.NewSirenTrainingUnfiltered(pts, budget, 0, est, seed)
+	r := trainer.NewRunner(seed + 4)
+	return r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
+		Alloc:      siren.Initial(),
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  2000,
+		Controller: siren.Controller(),
+	})
+}
+
+// fig18 — CE-scaling restricted to one storage service at a time.
+func fig18(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "fig18",
+		Title:   "CE-scaling training under fixed external storage (D/S/E/V)",
+		Headers: []string{"model", "storage", "JCT", "comm time", "cost", "storage cost"},
+		Notes:   "N/A: model exceeds DynamoDB's 400KB object limit; budget = 1.3x a cost-minimizing probe",
+	}
+	for _, w := range []*workload.Model{workload.LRHiggs(), workload.MobileNet()} {
+		fw := core.New(w)
+		probe, err := trainRef(fw, seed)
+		if err != nil {
+			return nil, err
+		}
+		budget := probe.budgetRef()
+		for _, kind := range storage.Kinds() {
+			k := kind
+			if !fw.Model.Service(kind).Supports(w.ParamsMB) {
+				t.Rows = append(t.Rows, []string{w.Name, kind.Short(), "N/A", "N/A", "N/A", "N/A"})
+				continue
+			}
+			r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed+uint64(kind))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", w.Name, kind, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				w.Name, kind.Short(), seconds(r.JCT), seconds(r.SyncTime),
+				dollars(r.TotalCost), dollars(r.StorageCost),
+			})
+		}
+	}
+	return t, nil
+}
+
+// fig21b — training scheduling overhead: CE vs WO-pa vs WO-pa-dr.
+func fig21b(seed uint64) (*Table, error) {
+	w := workload.ResNet50()
+	fw := core.New(w)
+	probe, err := trainRef(fw, seed)
+	if err != nil {
+		return nil, err
+	}
+	budget := probe.budgetRef() * 0.8 // binding, so adjustments happen
+	t := &Table{
+		ID:      "fig21b",
+		Title:   "Training scheduling overhead (planning + adjustment), ResNet50",
+		Headers: []string{"variant", "restarts", "planning time", "adjust overhead", "total sched overhead", "JCT"},
+		Notes:   "WO-pa searches the full allocation set; WO-pa-dr additionally disables delayed restart; adjust overhead = overhead - initial startup - planning",
+	}
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"CE-scaling", core.Options{Budget: budget, Seed: seed}},
+		{"WO-pa", core.Options{Budget: budget, Seed: seed, DisablePareto: true}},
+		{"WO-pa-dr", core.Options{Budget: budget, Seed: seed, DisablePareto: true, DisableDelayedRestart: true}},
+	}
+	for _, v := range variants {
+		r, err := runCE(fw, v.opt, seed)
+		if err != nil {
+			return nil, err
+		}
+		adjust := r.OverheadTime - r.StartupTime - r.PlanningTime
+		if adjust < 0 {
+			adjust = 0
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, fmt.Sprintf("%d", r.Restarts),
+			seconds(r.PlanningTime), seconds(adjust),
+			seconds(r.PlanningTime + adjust), seconds(r.JCT),
+		})
+	}
+	return t, nil
+}
+
+// fig21c — the impact of the adjustment threshold δ.
+func fig21c(seed uint64) (*Table, error) {
+	w := workload.ResNet50()
+	fw := core.New(w)
+	probe, err := trainRef(fw, seed)
+	if err != nil {
+		return nil, err
+	}
+	budget := probe.budgetRef() * 0.8
+	t := &Table{
+		ID:      "fig21c",
+		Title:   "Impact of the adjustment threshold δ (ResNet50, budget-constrained)",
+		Headers: []string{"delta", "restarts", "planning time", "sched overhead", "JCT", "cost"},
+		Notes:   "lower δ reacts to every prediction wobble (frequent restarts); higher δ responds slowly; default 0.1",
+	}
+	for _, delta := range []float64{0.01, 0.05, 0.1, 0.15, 0.2} {
+		r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, Delta: delta}, seed)
+		if err != nil {
+			return nil, err
+		}
+		adjust := r.OverheadTime - r.StartupTime - r.PlanningTime
+		if adjust < 0 {
+			adjust = 0
+		}
+		t.Rows = append(t.Rows, []string{
+			f2(delta), fmt.Sprintf("%d", r.Restarts),
+			seconds(r.PlanningTime), seconds(r.PlanningTime + adjust),
+			seconds(r.JCT), dollars(r.TotalCost),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,284 @@
+// Package faas models a Lambda-like serverless platform: function
+// specifications with memory-proportional CPU share, cold/warm start
+// behaviour, an account-level concurrency cap, and a billing meter charging
+// per invocation and per GB-second.
+//
+// The platform is intentionally decoupled from what the functions compute:
+// the trainer decides how long a function "runs" (from the workload's compute
+// model) and reports that runtime here for billing, while the platform
+// contributes startup latency, concurrency admission and metering. This
+// mirrors how a scheduler perceives AWS Lambda: it can only observe start
+// latency, duration and the resulting bill.
+package faas
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pricing"
+	"repro/internal/sim"
+)
+
+// Limits captures the platform's account limits (AWS Lambda defaults).
+type Limits struct {
+	MinMemoryMB    int // smallest allocatable function memory
+	MaxMemoryMB    int // largest allocatable function memory
+	MaxConcurrency int // account-level concurrent execution cap
+	FullVCPUAtMB   int // memory at which a function gets one full vCPU
+	MaxVCPU        float64
+}
+
+// DefaultLimits returns AWS Lambda's published limits: 128–10240 MB memory,
+// 3000 burst concurrency, one full vCPU at 1769 MB, up to 6 vCPUs.
+func DefaultLimits() Limits {
+	return Limits{
+		MinMemoryMB:    128,
+		MaxMemoryMB:    10240,
+		MaxConcurrency: 3000,
+		FullVCPUAtMB:   1769,
+		MaxVCPU:        6,
+	}
+}
+
+// CPUShare returns the fraction of vCPUs a function with memMB memory
+// receives (linear in memory, as Lambda allocates).
+func (l Limits) CPUShare(memMB int) float64 {
+	share := float64(memMB) / float64(l.FullVCPUAtMB)
+	if share > l.MaxVCPU {
+		share = l.MaxVCPU
+	}
+	return share
+}
+
+// ValidateMemory reports whether memMB is an allocatable function size.
+func (l Limits) ValidateMemory(memMB int) error {
+	if memMB < l.MinMemoryMB || memMB > l.MaxMemoryMB {
+		return fmt.Errorf("faas: memory %d MB outside [%d, %d]", memMB, l.MinMemoryMB, l.MaxMemoryMB)
+	}
+	return nil
+}
+
+// StartupModel parameterizes cold- and warm-start latency.
+type StartupModel struct {
+	ColdBase   float64 // seconds: sandbox + runtime initialization
+	ColdPerGB  float64 // seconds per GB of function memory (snapshot restore)
+	Warm       float64 // seconds for a warm invocation
+	JitterFrac float64 // multiplicative uniform jitter on cold starts
+}
+
+// DefaultStartup returns a Lambda-like startup model: ~1.5-3 s cold starts
+// for ML runtimes, ~20 ms warm starts.
+func DefaultStartup() StartupModel {
+	return StartupModel{ColdBase: 1.6, ColdPerGB: 0.5, Warm: 0.02, JitterFrac: 0.25}
+}
+
+// ErrConcurrencyExceeded is returned when an invocation burst would exceed
+// the account concurrency cap.
+var ErrConcurrencyExceeded = errors.New("faas: concurrency limit exceeded")
+
+// Meter accumulates the platform bill.
+type Meter struct {
+	Invocations uint64
+	GBSeconds   float64
+	InvokeCost  float64
+	ComputeCost float64
+}
+
+// Total returns the platform bill so far.
+func (m *Meter) Total() float64 { return m.InvokeCost + m.ComputeCost }
+
+// Platform is one simulated serverless region/account.
+type Platform struct {
+	sim     *sim.Simulation
+	limits  Limits
+	startup StartupModel
+	prices  pricing.PriceBook
+
+	// WarmTTL is how long an idle sandbox survives before the platform
+	// reclaims it (Lambda keeps environments warm for minutes, not hours).
+	// Zero disables expiry.
+	WarmTTL float64
+
+	inFlight int
+	warm     map[int]int // memory MB -> warm sandboxes available
+	// expiry holds the scheduled reclaim events per memory size; each
+	// release schedules one reclaim WarmTTL later, so a sandbox unused for
+	// a full TTL disappears.
+	expiry map[int][]*sim.Event
+	meter  Meter
+}
+
+// DefaultWarmTTL is the idle lifetime of a warm sandbox (10 minutes,
+// Lambda-like).
+const DefaultWarmTTL = 600
+
+// New returns a platform bound to the simulation's clock and RNG.
+func New(s *sim.Simulation, limits Limits, startup StartupModel, pb pricing.PriceBook) *Platform {
+	return &Platform{
+		sim: s, limits: limits, startup: startup, prices: pb,
+		WarmTTL: DefaultWarmTTL,
+		warm:    make(map[int]int),
+		expiry:  make(map[int][]*sim.Event),
+	}
+}
+
+// NewDefault returns a platform with default limits, startup and prices.
+func NewDefault(s *sim.Simulation) *Platform {
+	return New(s, DefaultLimits(), DefaultStartup(), pricing.Default())
+}
+
+// Limits returns the platform's account limits.
+func (p *Platform) Limits() Limits { return p.limits }
+
+// Meter returns a snapshot of the bill so far.
+func (p *Platform) Meter() Meter { return p.meter }
+
+// InFlight reports how many function instances are currently admitted.
+func (p *Platform) InFlight() int { return p.inFlight }
+
+// WarmCount reports how many warm sandboxes exist for the given memory size.
+func (p *Platform) WarmCount(memMB int) int { return p.warm[memMB] }
+
+// Invocation describes one admitted function instance.
+type Invocation struct {
+	MemMB      int
+	StartDelay float64 // cold- or warm-start latency in seconds
+	Cold       bool
+}
+
+// InvokeGroup admits n concurrent functions of memMB memory, consuming warm
+// sandboxes first. It returns one Invocation per function (with its
+// individual start latency) and charges the per-invocation fee immediately.
+// The group counts against the concurrency cap until ReleaseGroup.
+func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("faas: InvokeGroup with n=%d", n)
+	}
+	if err := p.limits.ValidateMemory(memMB); err != nil {
+		return nil, err
+	}
+	if p.inFlight+n > p.limits.MaxConcurrency {
+		return nil, fmt.Errorf("%w: %d in flight + %d requested > %d",
+			ErrConcurrencyExceeded, p.inFlight, n, p.limits.MaxConcurrency)
+	}
+	p.inFlight += n
+	rng := p.sim.Rand("faas.startup")
+	out := make([]Invocation, n)
+	for i := range out {
+		inv := Invocation{MemMB: memMB}
+		if p.warm[memMB] > 0 {
+			p.takeWarm(memMB)
+			inv.StartDelay = p.startup.Warm
+		} else {
+			inv.Cold = true
+			inv.StartDelay = p.coldStart(memMB, rng)
+		}
+		out[i] = inv
+		p.meter.Invocations++
+		p.meter.InvokeCost += p.prices.FunctionInvoke
+	}
+	return out, nil
+}
+
+// takeWarm consumes one warm sandbox and cancels its pending reclaim.
+func (p *Platform) takeWarm(memMB int) {
+	p.warm[memMB]--
+	if evs := p.expiry[memMB]; len(evs) > 0 {
+		evs[0].Cancel()
+		p.expiry[memMB] = evs[1:]
+	}
+}
+
+// addWarm returns sandboxes to the pool and schedules their idle reclaim.
+func (p *Platform) addWarm(memMB, n int) {
+	p.warm[memMB] += n
+	if p.WarmTTL <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		var ev *sim.Event
+		ev = p.sim.ScheduleAfter(p.WarmTTL, func() {
+			if p.warm[memMB] > 0 {
+				p.warm[memMB]--
+			}
+			// Drop the fired event from the pending list.
+			evs := p.expiry[memMB]
+			for j, e := range evs {
+				if e == ev {
+					p.expiry[memMB] = append(evs[:j], evs[j+1:]...)
+					break
+				}
+			}
+		})
+		p.expiry[memMB] = append(p.expiry[memMB], ev)
+	}
+}
+
+func (p *Platform) coldStart(memMB int, rng *sim.Rand) float64 {
+	d := p.startup.ColdBase + p.startup.ColdPerGB*float64(memMB)/1024
+	if p.startup.JitterFrac > 0 {
+		d *= rng.Jitter(p.startup.JitterFrac)
+	}
+	return d
+}
+
+// ColdStartEstimate returns the deterministic (jitter-free) cold-start
+// latency the analytical models use.
+func (p *Platform) ColdStartEstimate(memMB int) float64 {
+	return p.startup.ColdBase + p.startup.ColdPerGB*float64(memMB)/1024
+}
+
+// WarmStart returns the warm invocation latency.
+func (p *Platform) WarmStart() float64 { return p.startup.Warm }
+
+// ReleaseGroup ends n concurrent functions of memMB memory, billing their
+// compute time (seconds each) and returning their sandboxes to the warm
+// pool for later reuse.
+func (p *Platform) ReleaseGroup(n, memMB int, secondsEach float64) {
+	if n <= 0 {
+		return
+	}
+	if n > p.inFlight {
+		panic(fmt.Sprintf("faas: releasing %d instances with only %d in flight", n, p.inFlight))
+	}
+	p.inFlight -= n
+	p.addWarm(memMB, n)
+	p.BillCompute(n, memMB, secondsEach)
+}
+
+// BillCompute charges compute time for n functions of memMB that each ran
+// secondsEach, without touching admission state. The trainer uses this for
+// per-epoch billing while instances stay admitted across epochs.
+func (p *Platform) BillCompute(n, memMB int, secondsEach float64) {
+	if n <= 0 || secondsEach <= 0 {
+		return
+	}
+	cost := float64(n) * p.prices.ComputeOnlyCost(secondsEach, float64(memMB))
+	p.meter.ComputeCost += cost
+	p.meter.GBSeconds += float64(n) * secondsEach * float64(memMB) / 1024
+}
+
+// Prewarm provisions n warm sandboxes of memMB (the greedy planner pre-warms
+// the next SHA stage's functions while the current stage runs). Prewarming
+// charges invocation fees but no compute.
+func (p *Platform) Prewarm(n, memMB int) error {
+	if err := p.limits.ValidateMemory(memMB); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	p.addWarm(memMB, n)
+	p.meter.Invocations += uint64(n)
+	p.meter.InvokeCost += float64(n) * p.prices.FunctionInvoke
+	return nil
+}
+
+// DropWarm evicts warm sandboxes immediately and cancels their reclaims.
+func (p *Platform) DropWarm(memMB int) {
+	delete(p.warm, memMB)
+	for _, ev := range p.expiry[memMB] {
+		ev.Cancel()
+	}
+	delete(p.expiry, memMB)
+}

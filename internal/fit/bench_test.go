@@ -1,0 +1,28 @@
+package fit
+
+import "testing"
+
+func BenchmarkFitInverseLinear(b *testing.B) {
+	xs, ys := genInverseLinear(0.2, 1.0, 0.5, 0.02, 40, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(InverseLinear{}, xs, ys, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitPowerLaw(b *testing.B) {
+	m := PowerLaw{}
+	var xs, ys []float64
+	for e := 1; e <= 40; e++ {
+		xs = append(xs, float64(e))
+		ys = append(ys, m.Eval([]float64{2, 0.7, 0.3}, float64(e)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(m, xs, ys, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package lambda is a local serverless function executor with the
+// programming model the paper's system drives through its JSON plans:
+// named functions with a memory size, invoked in parallel under an
+// account-level concurrency cap, with cold/warm execution environments,
+// per-invocation deadlines and duration metering.
+//
+// Handlers run as goroutines in this process — the local analogue of
+// Lambda's execution environments — so a CE-scaling plan can be carried out
+// for real: register a worker handler, fan out one invocation per function
+// in the plan, and let the workers synchronize through internal/objstore or
+// internal/psnet (see examples/serverless-workers).
+package lambda
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Context carries per-invocation metadata into a handler.
+type Context struct {
+	// Ctx is canceled at the invocation deadline.
+	Ctx context.Context
+	// RequestID uniquely identifies the invocation.
+	RequestID string
+	// FunctionName and MemoryMB echo the registration.
+	FunctionName string
+	MemoryMB     int
+	// Cold reports whether a fresh execution environment was created.
+	Cold bool
+}
+
+// Handler processes one invocation payload.
+type Handler func(c Context, payload []byte) ([]byte, error)
+
+// Registration configures one function.
+type Registration struct {
+	MemoryMB int
+	Timeout  time.Duration // default 15 minutes (Lambda's maximum)
+	Handler  Handler
+}
+
+// Errors.
+var (
+	ErrNotRegistered = errors.New("lambda: function not registered")
+	ErrThrottled     = errors.New("lambda: concurrency limit exceeded")
+	ErrTimeout       = errors.New("lambda: invocation timed out")
+)
+
+// Stats aggregates executor metrics.
+type Stats struct {
+	Invocations uint64
+	ColdStarts  uint64
+	Errors      uint64
+	Throttles   uint64
+	// BilledMS accumulates handler wall time in milliseconds (per-ms
+	// billing granularity, like the platform's).
+	BilledMS uint64
+}
+
+type function struct {
+	reg  Registration
+	warm int // idle environments available
+}
+
+// Invoker executes registered functions.
+type Invoker struct {
+	mu        sync.Mutex
+	functions map[string]*function
+	inFlight  int
+	maxConc   int
+	nextID    uint64
+	stats     Stats
+}
+
+// NewInvoker returns an executor with the given account concurrency cap.
+func NewInvoker(maxConcurrency int) *Invoker {
+	if maxConcurrency < 1 {
+		maxConcurrency = 1
+	}
+	return &Invoker{functions: make(map[string]*function), maxConc: maxConcurrency}
+}
+
+// Register installs a function under name. Re-registering replaces the
+// handler and drops its warm environments (a code deploy).
+func (inv *Invoker) Register(name string, reg Registration) error {
+	if name == "" || reg.Handler == nil {
+		return fmt.Errorf("lambda: registration needs a name and a handler")
+	}
+	if reg.MemoryMB < 128 || reg.MemoryMB > 10240 {
+		return fmt.Errorf("lambda: memory %d MB outside [128, 10240]", reg.MemoryMB)
+	}
+	if reg.Timeout <= 0 {
+		reg.Timeout = 15 * time.Minute
+	}
+	inv.mu.Lock()
+	inv.functions[name] = &function{reg: reg}
+	inv.mu.Unlock()
+	return nil
+}
+
+// Stats returns a metrics snapshot.
+func (inv *Invoker) Stats() Stats {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.stats
+}
+
+// InFlight reports currently executing invocations.
+func (inv *Invoker) InFlight() int {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.inFlight
+}
+
+// admit reserves a concurrency slot and an environment; it reports whether
+// the environment is cold.
+func (inv *Invoker) admit(name string) (*function, Context, error) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	fn, ok := inv.functions[name]
+	if !ok {
+		return nil, Context{}, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	if inv.inFlight >= inv.maxConc {
+		inv.stats.Throttles++
+		return nil, Context{}, fmt.Errorf("%w: %d in flight", ErrThrottled, inv.inFlight)
+	}
+	inv.inFlight++
+	inv.nextID++
+	inv.stats.Invocations++
+	cold := fn.warm == 0
+	if cold {
+		inv.stats.ColdStarts++
+	} else {
+		fn.warm--
+	}
+	c := Context{
+		RequestID:    fmt.Sprintf("req-%08d", inv.nextID),
+		FunctionName: name,
+		MemoryMB:     fn.reg.MemoryMB,
+		Cold:         cold,
+	}
+	return fn, c, nil
+}
+
+func (inv *Invoker) release(fn *function, dur time.Duration, failed bool) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	inv.inFlight--
+	fn.warm++ // the environment is reusable
+	ms := uint64(dur.Milliseconds())
+	if ms == 0 {
+		ms = 1
+	}
+	inv.stats.BilledMS += ms
+	if failed {
+		inv.stats.Errors++
+	}
+}
+
+// Invoke runs the function synchronously and returns its response.
+func (inv *Invoker) Invoke(name string, payload []byte) ([]byte, error) {
+	fn, c, err := inv.admit(name)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), fn.reg.Timeout)
+	defer cancel()
+	c.Ctx = ctx
+
+	start := time.Now()
+	type outcome struct {
+		resp []byte
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, err := fn.reg.Handler(c, payload)
+		done <- outcome{resp, err}
+	}()
+	select {
+	case out := <-done:
+		inv.release(fn, time.Since(start), out.err != nil)
+		return out.resp, out.err
+	case <-ctx.Done():
+		inv.release(fn, time.Since(start), true)
+		return nil, fmt.Errorf("%w: %s after %s", ErrTimeout, name, fn.reg.Timeout)
+	}
+}
+
+// Result is one fan-out invocation's outcome.
+type Result struct {
+	Index    int
+	Response []byte
+	Err      error
+}
+
+// Map fans payloads out as concurrent invocations of name and gathers the
+// results in input order. Invocations beyond the concurrency cap queue
+// rather than throttle (the burst behaviour a training job wants).
+func (inv *Invoker) Map(name string, payloads [][]byte) ([]Result, error) {
+	inv.mu.Lock()
+	_, registered := inv.functions[name]
+	inv.mu.Unlock()
+	if !registered {
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	results := make([]Result, len(payloads))
+	var wg sync.WaitGroup
+	for i, p := range payloads {
+		wg.Add(1)
+		go func(i int, p []byte) {
+			defer wg.Done()
+			for {
+				resp, err := inv.Invoke(name, p)
+				if errors.Is(err, ErrThrottled) {
+					time.Sleep(time.Millisecond) // queue and retry
+					continue
+				}
+				results[i] = Result{Index: i, Response: resp, Err: err}
+				return
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// Prewarm provisions n idle environments for name.
+func (inv *Invoker) Prewarm(name string, n int) error {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	fn, ok := inv.functions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotRegistered, name)
+	}
+	fn.warm += n
+	return nil
+}

@@ -1,0 +1,261 @@
+package lambda
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoInvoker(t *testing.T, mem int) *Invoker {
+	t.Helper()
+	inv := NewInvoker(100)
+	err := inv.Register("echo", Registration{
+		MemoryMB: mem,
+		Handler: func(c Context, payload []byte) ([]byte, error) {
+			return append([]byte("echo:"), payload...), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func TestRegisterValidation(t *testing.T) {
+	inv := NewInvoker(10)
+	if err := inv.Register("", Registration{MemoryMB: 512, Handler: func(Context, []byte) ([]byte, error) { return nil, nil }}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := inv.Register("f", Registration{MemoryMB: 512}); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if err := inv.Register("f", Registration{MemoryMB: 64, Handler: func(Context, []byte) ([]byte, error) { return nil, nil }}); err == nil {
+		t.Error("64MB accepted")
+	}
+}
+
+func TestInvokeRoundTrip(t *testing.T) {
+	inv := echoInvoker(t, 512)
+	resp, err := inv.Invoke("echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("echo:hi")) {
+		t.Errorf("resp = %q", resp)
+	}
+	if inv.InFlight() != 0 {
+		t.Error("invocation leaked a concurrency slot")
+	}
+}
+
+func TestInvokeUnregistered(t *testing.T) {
+	inv := NewInvoker(10)
+	if _, err := inv.Invoke("nope", nil); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestColdThenWarm(t *testing.T) {
+	var sawCold, sawWarm bool
+	inv := NewInvoker(10)
+	inv.Register("f", Registration{MemoryMB: 256, Handler: func(c Context, _ []byte) ([]byte, error) {
+		if c.Cold {
+			sawCold = true
+		} else {
+			sawWarm = true
+		}
+		return nil, nil
+	}})
+	inv.Invoke("f", nil)
+	inv.Invoke("f", nil)
+	if !sawCold || !sawWarm {
+		t.Errorf("cold=%v warm=%v, want both", sawCold, sawWarm)
+	}
+	if got := inv.Stats().ColdStarts; got != 1 {
+		t.Errorf("ColdStarts = %d, want 1", got)
+	}
+}
+
+func TestPrewarmSkipsColdStart(t *testing.T) {
+	inv := NewInvoker(10)
+	cold := 0
+	inv.Register("f", Registration{MemoryMB: 256, Handler: func(c Context, _ []byte) ([]byte, error) {
+		if c.Cold {
+			cold++
+		}
+		return nil, nil
+	}})
+	if err := inv.Prewarm("f", 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		inv.Invoke("f", nil)
+	}
+	if cold != 0 {
+		t.Errorf("%d cold starts after prewarming 3", cold)
+	}
+	if err := inv.Prewarm("nope", 1); err == nil {
+		t.Error("prewarming an unregistered function should fail")
+	}
+}
+
+func TestThrottleAtCap(t *testing.T) {
+	inv := NewInvoker(2)
+	block := make(chan struct{})
+	inv.Register("slow", Registration{MemoryMB: 256, Handler: func(c Context, _ []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	}})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); inv.Invoke("slow", nil) }()
+	}
+	// Wait for both to be admitted.
+	for inv.InFlight() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := inv.Invoke("slow", nil); !errors.Is(err, ErrThrottled) {
+		t.Errorf("third concurrent invoke: %v, want throttle", err)
+	}
+	close(block)
+	wg.Wait()
+	if inv.Stats().Throttles != 1 {
+		t.Errorf("Throttles = %d, want 1", inv.Stats().Throttles)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	inv := NewInvoker(10)
+	inv.Register("hang", Registration{
+		MemoryMB: 256,
+		Timeout:  20 * time.Millisecond,
+		Handler: func(c Context, _ []byte) ([]byte, error) {
+			<-c.Ctx.Done() // a well-behaved handler observes cancellation
+			return nil, c.Ctx.Err()
+		},
+	})
+	if _, err := inv.Invoke("hang", nil); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want timeout", err)
+	}
+	if inv.InFlight() != 0 {
+		t.Error("timed-out invocation leaked a slot")
+	}
+}
+
+func TestHandlerErrorCounted(t *testing.T) {
+	inv := NewInvoker(10)
+	boom := errors.New("boom")
+	inv.Register("f", Registration{MemoryMB: 256, Handler: func(Context, []byte) ([]byte, error) {
+		return nil, boom
+	}})
+	if _, err := inv.Invoke("f", nil); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+	if inv.Stats().Errors != 1 {
+		t.Errorf("Errors = %d, want 1", inv.Stats().Errors)
+	}
+}
+
+func TestMapGathersInOrder(t *testing.T) {
+	inv := NewInvoker(4)
+	inv.Register("sq", Registration{MemoryMB: 256, Handler: func(c Context, p []byte) ([]byte, error) {
+		n := int(p[0])
+		return []byte{byte(n * n)}, nil
+	}})
+	payloads := make([][]byte, 10)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i)}
+	}
+	results, err := inv.Map("sq", payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if int(r.Response[0]) != i*i {
+			t.Errorf("result %d = %d, want %d", i, r.Response[0], i*i)
+		}
+	}
+}
+
+func TestMapQueuesBeyondCap(t *testing.T) {
+	inv := NewInvoker(2) // far below the fan-out
+	var running, peak atomic.Int32
+	inv.Register("f", Registration{MemoryMB: 256, Handler: func(Context, []byte) ([]byte, error) {
+		cur := running.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		running.Add(-1)
+		return nil, nil
+	}})
+	results, err := inv.Map("f", make([][]byte, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("queued invocation failed: %v", r.Err)
+		}
+	}
+	if peak.Load() > 2 {
+		t.Errorf("peak concurrency %d exceeded the cap 2", peak.Load())
+	}
+	if inv.Stats().Invocations < 12 {
+		t.Errorf("Invocations = %d, want >= 12", inv.Stats().Invocations)
+	}
+}
+
+func TestMapUnregistered(t *testing.T) {
+	inv := NewInvoker(2)
+	if _, err := inv.Map("nope", make([][]byte, 3)); !errors.Is(err, ErrNotRegistered) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBilledMSAccumulates(t *testing.T) {
+	inv := NewInvoker(10)
+	inv.Register("f", Registration{MemoryMB: 256, Handler: func(Context, []byte) ([]byte, error) {
+		time.Sleep(3 * time.Millisecond)
+		return nil, nil
+	}})
+	inv.Invoke("f", nil)
+	if got := inv.Stats().BilledMS; got < 2 {
+		t.Errorf("BilledMS = %d, want >= 2", got)
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	inv := NewInvoker(100)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	inv.Register("f", Registration{MemoryMB: 256, Handler: func(c Context, _ []byte) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[c.RequestID] {
+			return nil, fmt.Errorf("duplicate request id %s", c.RequestID)
+		}
+		seen[c.RequestID] = true
+		return nil, nil
+	}})
+	results, err := inv.Map("f", make([][]byte, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}

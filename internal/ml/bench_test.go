@@ -1,0 +1,51 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sim"
+)
+
+func benchData(rows int) *dataset.Matrix {
+	return dataset.GenerateBinary(sim.NewRand(1), dataset.GenConfig{Samples: rows, Features: 32, NoiseFlip: 0.1})
+}
+
+func BenchmarkLogisticGradient(b *testing.B) {
+	data := benchData(4000)
+	w := make([]float64, data.Cols)
+	idx := make([]int, 256)
+	for i := range idx {
+		idx[i] = i
+	}
+	grad := make([]float64, data.Cols)
+	obj := Logistic{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Zero(grad)
+		obj.Gradient(w, data, idx, grad)
+	}
+}
+
+func BenchmarkLogisticLoss(b *testing.B) {
+	data := benchData(4000)
+	w := make([]float64, data.Cols)
+	obj := Logistic{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.Loss(w, data)
+	}
+}
+
+func BenchmarkBSPEpoch(b *testing.B) {
+	tr, err := NewTrainer(benchData(4000), Config{
+		Objective: Logistic{}, Workers: 8, BatchPerWkr: 64, LearningRate: 0.3, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RunEpoch()
+	}
+}

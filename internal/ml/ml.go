@@ -1,0 +1,356 @@
+// Package ml is a real mini-batch SGD engine for linear models: logistic
+// regression, linear SVM (hinge loss) and linear regression (squared loss),
+// all with optional L2 regularization. It supplies the genuine stochastic
+// convergence behaviour the paper's online-prediction experiments depend on
+// (§II-C2): the LR/SVM workloads in this repository actually train on data,
+// they are not scripted curves.
+//
+// The engine is deliberately storage-agnostic: workers compute gradients on
+// their shards and the Bulk Synchronous Parallel reduction is plain vector
+// addition, so the simulated trainer can route the exchange through any
+// storage.Store.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/sim"
+)
+
+// Objective is a differentiable training objective over a linear model.
+type Objective interface {
+	// Name identifies the objective ("logistic", "hinge", "squared").
+	Name() string
+	// Gradient adds the average gradient over the rows idx of m, evaluated
+	// at weights w, into grad (which the caller has zeroed or is
+	// accumulating into deliberately).
+	Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64)
+	// Loss returns the average loss over all rows of m at weights w.
+	Loss(w []float64, m *dataset.Matrix) float64
+}
+
+// Logistic is the logistic-regression objective with labels in {-1, +1}:
+// loss = log(1 + exp(-y w·x)) + (L2/2)|w|².
+type Logistic struct{ L2 float64 }
+
+// Name implements Objective.
+func (Logistic) Name() string { return "logistic" }
+
+// Gradient implements Objective.
+func (l Logistic) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64) {
+	inv := 1 / float64(len(idx))
+	for _, r := range idx {
+		row := m.Row(r)
+		y := m.Y[r]
+		// d/dw log(1+exp(-y w·x)) = -y x sigmoid(-y w·x)
+		coeff := -y * Sigmoid(-y*Dot(w, row)) * inv
+		Axpy(coeff, row, grad)
+	}
+	if l.L2 > 0 {
+		Axpy(l.L2, w, grad)
+	}
+}
+
+// Loss implements Objective.
+func (l Logistic) Loss(w []float64, m *dataset.Matrix) float64 {
+	var sum float64
+	for r := 0; r < m.Rows; r++ {
+		sum += Log1pExp(-m.Y[r] * Dot(w, m.Row(r)))
+	}
+	loss := sum / float64(m.Rows)
+	if l.L2 > 0 {
+		n := Norm2(w)
+		loss += l.L2 / 2 * n * n
+	}
+	return loss
+}
+
+// Hinge is the linear-SVM objective: loss = max(0, 1 - y w·x) + (L2/2)|w|².
+type Hinge struct{ L2 float64 }
+
+// Name implements Objective.
+func (Hinge) Name() string { return "hinge" }
+
+// Gradient implements Objective (subgradient at the hinge point).
+func (h Hinge) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64) {
+	inv := 1 / float64(len(idx))
+	for _, r := range idx {
+		row := m.Row(r)
+		y := m.Y[r]
+		if y*Dot(w, row) < 1 {
+			Axpy(-y*inv, row, grad)
+		}
+	}
+	if h.L2 > 0 {
+		Axpy(h.L2, w, grad)
+	}
+}
+
+// Loss implements Objective.
+func (h Hinge) Loss(w []float64, m *dataset.Matrix) float64 {
+	var sum float64
+	for r := 0; r < m.Rows; r++ {
+		if v := 1 - m.Y[r]*Dot(w, m.Row(r)); v > 0 {
+			sum += v
+		}
+	}
+	loss := sum / float64(m.Rows)
+	if h.L2 > 0 {
+		n := Norm2(w)
+		loss += h.L2 / 2 * n * n
+	}
+	return loss
+}
+
+// Squared is the linear-regression objective: loss = (w·x - y)²/2 + (L2/2)|w|².
+type Squared struct{ L2 float64 }
+
+// Name implements Objective.
+func (Squared) Name() string { return "squared" }
+
+// Gradient implements Objective.
+func (s Squared) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64) {
+	inv := 1 / float64(len(idx))
+	for _, r := range idx {
+		row := m.Row(r)
+		coeff := (Dot(w, row) - m.Y[r]) * inv
+		Axpy(coeff, row, grad)
+	}
+	if s.L2 > 0 {
+		Axpy(s.L2, w, grad)
+	}
+}
+
+// Loss implements Objective.
+func (s Squared) Loss(w []float64, m *dataset.Matrix) float64 {
+	var sum float64
+	for r := 0; r < m.Rows; r++ {
+		d := Dot(w, m.Row(r)) - m.Y[r]
+		sum += d * d / 2
+	}
+	loss := sum / float64(m.Rows)
+	if s.L2 > 0 {
+		n := Norm2(w)
+		loss += s.L2 / 2 * n * n
+	}
+	return loss
+}
+
+// ObjectiveByName returns the named objective with the given L2 strength.
+func ObjectiveByName(name string, l2 float64) (Objective, error) {
+	switch name {
+	case "logistic":
+		return Logistic{L2: l2}, nil
+	case "hinge":
+		return Hinge{L2: l2}, nil
+	case "squared":
+		return Squared{L2: l2}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown objective %q", name)
+	}
+}
+
+// Worker computes gradients over one data shard with its own batch cursor,
+// mirroring one serverless function in the BSP loop.
+type Worker struct {
+	Shard *dataset.Matrix
+	perm  []int
+	pos   int
+	rng   *sim.Rand
+}
+
+// NewWorker returns a worker over shard using rng for batch shuffling.
+func NewWorker(shard *dataset.Matrix, rng *sim.Rand) *Worker {
+	w := &Worker{Shard: shard, rng: rng}
+	w.reshuffle()
+	return w
+}
+
+func (w *Worker) reshuffle() {
+	w.perm = w.rng.Perm(w.Shard.Rows)
+	w.pos = 0
+}
+
+// NextBatch returns the indices of the next mini-batch of up to size rows,
+// reshuffling when the shard is exhausted.
+func (w *Worker) NextBatch(size int) []int {
+	if size <= 0 || size > w.Shard.Rows {
+		size = w.Shard.Rows
+	}
+	if w.pos+size > len(w.perm) {
+		w.reshuffle()
+	}
+	b := w.perm[w.pos : w.pos+size]
+	w.pos += size
+	return b
+}
+
+// Gradient computes the worker's average gradient at weights wvec over its
+// next mini-batch of size batch, returning a freshly allocated vector.
+func (w *Worker) Gradient(obj Objective, wvec []float64, batch int) []float64 {
+	grad := make([]float64, len(wvec))
+	obj.Gradient(wvec, w.Shard, w.NextBatch(batch), grad)
+	return grad
+}
+
+// Config parameterizes a BSP training run.
+type Config struct {
+	Objective    Objective
+	Workers      int
+	BatchPerWkr  int // mini-batch rows per worker per iteration
+	LearningRate float64
+	Seed         uint64
+}
+
+// Trainer runs synchronous (BSP) mini-batch SGD across in-memory workers.
+// The simulated serverless trainer wraps this with timing, billing and
+// storage routing; Trainer itself is pure math and is also usable directly.
+type Trainer struct {
+	cfg     Config
+	data    *dataset.Matrix
+	workers []*Worker
+	weights []float64
+	epoch   int
+}
+
+// NewTrainer partitions data across cfg.Workers workers and zero-initializes
+// the model.
+func NewTrainer(data *dataset.Matrix, cfg Config) (*Trainer, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("ml: need at least one worker, got %d", cfg.Workers)
+	}
+	if cfg.Objective == nil {
+		return nil, fmt.Errorf("ml: nil objective")
+	}
+	if cfg.LearningRate <= 0 {
+		return nil, fmt.Errorf("ml: non-positive learning rate %g", cfg.LearningRate)
+	}
+	if data.Rows < cfg.Workers {
+		return nil, fmt.Errorf("ml: %d rows cannot feed %d workers", data.Rows, cfg.Workers)
+	}
+	t := &Trainer{cfg: cfg, data: data, weights: make([]float64, data.Cols)}
+	shards := data.Partition(cfg.Workers)
+	seedRng := sim.NewRand(cfg.Seed)
+	for i, sh := range shards {
+		t.workers = append(t.workers, NewWorker(sh, sim.NewRand(seedRng.Uint64()+uint64(i))))
+	}
+	return t, nil
+}
+
+// Weights returns the live weight vector (callers must not mutate it).
+func (t *Trainer) Weights() []float64 { return t.weights }
+
+// SetWeights replaces the model (used when resuming after a resource
+// adjustment restart).
+func (t *Trainer) SetWeights(w []float64) { t.weights = Clone(w) }
+
+// Epoch reports how many epochs have completed.
+func (t *Trainer) Epoch() int { return t.epoch }
+
+// IterationsPerEpoch returns how many BSP iterations one epoch takes: each
+// worker consumes its shard once per epoch, batch rows at a time.
+func (t *Trainer) IterationsPerEpoch() int {
+	minRows := t.workers[0].Shard.Rows
+	for _, w := range t.workers[1:] {
+		if w.Shard.Rows < minRows {
+			minRows = w.Shard.Rows
+		}
+	}
+	b := t.cfg.BatchPerWkr
+	if b <= 0 || b > minRows {
+		b = minRows
+	}
+	k := minRows / b
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// WorkerGradients computes each worker's mini-batch gradient at the current
+// weights, in parallel across OS threads. The caller (the simulated
+// trainer) routes these through storage before calling ApplyAggregate.
+func (t *Trainer) WorkerGradients() [][]float64 {
+	grads := make([][]float64, len(t.workers))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, w := range t.workers {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			grads[i] = w.Gradient(t.cfg.Objective, t.weights, t.cfg.BatchPerWkr)
+			<-sem
+		}(i, w)
+	}
+	wg.Wait()
+	return grads
+}
+
+// ApplyAggregate applies the sum of worker gradients (dividing by the number
+// of workers to average) with one SGD step.
+func (t *Trainer) ApplyAggregate(sum []float64) {
+	Axpy(-t.cfg.LearningRate/float64(len(t.workers)), sum, t.weights)
+}
+
+// RunIteration performs one full BSP iteration in-memory (gradients +
+// aggregate + step) and is the building block RunEpoch uses.
+func (t *Trainer) RunIteration() {
+	grads := t.WorkerGradients()
+	sum := make([]float64, len(t.weights))
+	for _, g := range grads {
+		Add(g, sum)
+	}
+	t.ApplyAggregate(sum)
+}
+
+// RunEpoch performs one epoch of BSP iterations and returns the full-data
+// training loss at the end of the epoch.
+func (t *Trainer) RunEpoch() float64 {
+	k := t.IterationsPerEpoch()
+	for i := 0; i < k; i++ {
+		t.RunIteration()
+	}
+	t.epoch++
+	return t.Loss()
+}
+
+// Loss returns the average loss over the entire dataset at the current
+// weights.
+func (t *Trainer) Loss() float64 {
+	return t.cfg.Objective.Loss(t.weights, t.data)
+}
+
+// Accuracy returns classification accuracy (sign agreement) over the whole
+// dataset; it is meaningful only for ±1-labelled data.
+func (t *Trainer) Accuracy() float64 {
+	correct := 0
+	for r := 0; r < t.data.Rows; r++ {
+		pred := 1.0
+		if Dot(t.weights, t.data.Row(r)) < 0 {
+			pred = -1
+		}
+		if pred == t.data.Y[r] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(t.data.Rows)
+}
+
+// TrainToLoss runs epochs until the loss reaches target or maxEpochs is hit,
+// returning the per-epoch loss trace.
+func (t *Trainer) TrainToLoss(target float64, maxEpochs int) []float64 {
+	var trace []float64
+	for e := 0; e < maxEpochs; e++ {
+		loss := t.RunEpoch()
+		trace = append(trace, loss)
+		if loss <= target || math.IsNaN(loss) {
+			break
+		}
+	}
+	return trace
+}

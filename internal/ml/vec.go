@@ -1,0 +1,77 @@
+package ml
+
+import "math"
+
+// Dot returns the inner product of a and b; the slices must have equal
+// length (callers guarantee this; a mismatch panics via bounds checks).
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha * x in place.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Zero clears x in place.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	c := make([]float64, len(x))
+	copy(c, x)
+	return c
+}
+
+// Add computes y += x element-wise in place.
+func Add(x, y []float64) {
+	for i, v := range x {
+		y[i] += v
+	}
+}
+
+// Sigmoid returns 1/(1+e^-z), computed stably for large |z|.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Log1pExp returns log(1 + e^z) without overflow.
+func Log1pExp(z float64) float64 {
+	if z > 30 {
+		return z
+	}
+	if z < -30 {
+		return math.Exp(z)
+	}
+	return math.Log1p(math.Exp(z))
+}

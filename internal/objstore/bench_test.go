@@ -1,0 +1,23 @@
+package objstore
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+func BenchmarkPutGet(b *testing.B) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	payload := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put("bench", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := c.Get("bench"); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package objstore is a small S3-like object store served over HTTP: PUT,
+// GET, DELETE and LIST on opaque keys, with per-request metering. The
+// distributed training integration (internal/distml) uses it to run the
+// paper's stateless synchronization pattern (Fig. 5, the (3n-2) transfers)
+// over real sockets: workers upload gradients as objects, a designated
+// worker aggregates, everyone re-pulls the model.
+//
+// The store is deliberately simple — a concurrency-safe map behind an
+// http.Handler — but speaks enough of an object-store dialect (key
+// hierarchy, list-by-prefix, conditional-free overwrite semantics) for a
+// training loop to treat it like the real thing.
+package objstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Server is the in-memory object store. It implements http.Handler; serve
+// it with net/http or httptest.
+type Server struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+
+	// MaxObjectBytes rejects larger PUTs with 413 (DynamoDB-style item
+	// limits); zero means unlimited.
+	MaxObjectBytes int64
+
+	puts, gets, deletes, lists atomic.Uint64
+	bytesIn, bytesOut          atomic.Uint64
+}
+
+// NewServer returns an empty store.
+func NewServer() *Server {
+	return &Server{objects: make(map[string][]byte)}
+}
+
+// Stats reports cumulative request counters.
+type Stats struct {
+	Puts, Gets, Deletes, Lists uint64
+	BytesIn, BytesOut          uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Puts: s.puts.Load(), Gets: s.gets.Load(),
+		Deletes: s.deletes.Load(), Lists: s.lists.Load(),
+		BytesIn: s.bytesIn.Load(), BytesOut: s.bytesOut.Load(),
+	}
+}
+
+// Len returns the number of stored objects.
+func (s *Server) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// ServeHTTP implements the object dialect:
+//
+//	PUT    /<key>            store body under key
+//	GET    /<key>            fetch object (404 when absent)
+//	DELETE /<key>            remove object (idempotent)
+//	GET    /?list=<prefix>   newline-separated keys with the prefix, sorted
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/")
+	switch {
+	case r.Method == http.MethodGet && key == "" && r.URL.Query().Has("list"):
+		s.lists.Add(1)
+		prefix := r.URL.Query().Get("list")
+		s.mu.RLock()
+		var keys []string
+		for k := range s.objects {
+			if strings.HasPrefix(k, prefix) {
+				keys = append(keys, k)
+			}
+		}
+		s.mu.RUnlock()
+		sort.Strings(keys)
+		body := strings.Join(keys, "\n")
+		s.bytesOut.Add(uint64(len(body)))
+		fmt.Fprint(w, body)
+
+	case r.Method == http.MethodPut && key != "":
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if s.MaxObjectBytes > 0 && int64(len(body)) > s.MaxObjectBytes {
+			http.Error(w, "object exceeds size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		s.puts.Add(1)
+		s.bytesIn.Add(uint64(len(body)))
+		s.mu.Lock()
+		s.objects[key] = body
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+
+	case r.Method == http.MethodGet && key != "":
+		s.gets.Add(1)
+		s.mu.RLock()
+		body, ok := s.objects[key]
+		s.mu.RUnlock()
+		if !ok {
+			http.Error(w, "no such key", http.StatusNotFound)
+			return
+		}
+		s.bytesOut.Add(uint64(len(body)))
+		w.Write(body)
+
+	case r.Method == http.MethodDelete && key != "":
+		s.deletes.Add(1)
+		s.mu.Lock()
+		delete(s.objects, key)
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+
+	default:
+		http.Error(w, "unsupported operation", http.StatusMethodNotAllowed)
+	}
+}
+
+// Client talks to a Server over HTTP.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the store at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{base: strings.TrimSuffix(baseURL, "/"), http: &http.Client{}}
+}
+
+// Put stores data under key.
+func (c *Client) Put(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.base+"/"+url.PathEscape(key), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("objstore: PUT %s: %s", key, resp.Status)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Get fetches the object under key; ErrNotFound-style absence is reported
+// via ok=false with a nil error.
+func (c *Client) Get(key string) (data []byte, ok bool, err error) {
+	resp, err := c.http.Get(c.base + "/" + url.PathEscape(key))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		return body, err == nil, err
+	case http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("objstore: GET %s: %s", key, resp.Status)
+	}
+}
+
+// Delete removes key (idempotent).
+func (c *Client) Delete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/"+url.PathEscape(key), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("objstore: DELETE %s: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// List returns the sorted keys with the given prefix.
+func (c *Client) List(prefix string) ([]string, error) {
+	resp, err := c.http.Get(c.base + "/?list=" + url.QueryEscape(prefix))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("objstore: LIST %s: %s", prefix, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, nil
+	}
+	return strings.Split(string(body), "\n"), nil
+}

@@ -1,0 +1,175 @@
+package objstore
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, c := newPair(t)
+	if err := c.Put("models/global", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := c.Get("models/global")
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if string(data) != "hello" {
+		t.Errorf("Get = %q", data)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, c := newPair(t)
+	data, ok, err := c.Get("absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || data != nil {
+		t.Error("absent key reported present")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	_, c := newPair(t)
+	c.Put("k", []byte("v1"))
+	c.Put("k", []byte("v2"))
+	data, _, _ := c.Get("k")
+	if string(data) != "v2" {
+		t.Errorf("overwrite lost: %q", data)
+	}
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	s, c := newPair(t)
+	c.Put("k", []byte("v"))
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal("second delete should be a no-op:", err)
+	}
+	if s.Len() != 0 {
+		t.Error("key survived delete")
+	}
+}
+
+func TestListByPrefix(t *testing.T) {
+	_, c := newPair(t)
+	for _, k := range []string{"grads/0", "grads/1", "grads/10", "model"} {
+		if err := c.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := c.List("grads/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"grads/0", "grads/1", "grads/10"}
+	if len(keys) != len(want) {
+		t.Fatalf("List = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("List = %v, want %v (sorted)", keys, want)
+		}
+	}
+	all, err := c.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Errorf("List(\"\") = %d keys, want 4", len(all))
+	}
+}
+
+func TestListEmpty(t *testing.T) {
+	_, c := newPair(t)
+	keys, err := c.List("nope/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys != nil {
+		t.Errorf("empty list = %v", keys)
+	}
+}
+
+func TestObjectSizeLimit(t *testing.T) {
+	srv := NewServer()
+	srv.MaxObjectBytes = 4
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if err := c.Put("small", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("big", []byte("too large")); err == nil {
+		t.Error("oversized PUT should fail (the DynamoDB 400KB analogue)")
+	}
+}
+
+func TestStatsMetering(t *testing.T) {
+	s, c := newPair(t)
+	c.Put("a", []byte("1234"))
+	c.Get("a")
+	c.Get("missing")
+	c.Delete("a")
+	c.List("")
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 2 || st.Deletes != 1 || st.Lists != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesIn != 4 || st.BytesOut < 4 {
+		t.Errorf("bytes = in %d out %d", st.BytesIn, st.BytesOut)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, c := newPair(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("worker/%d", w)
+			for i := 0; i < 25; i++ {
+				if err := c.Put(key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok, err := c.Get(key); err != nil || !ok {
+					t.Errorf("worker %d read failed: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 16 {
+		t.Errorf("Len = %d, want 16", s.Len())
+	}
+}
+
+func TestUnsupportedMethods(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/key", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,41 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/workload"
+)
+
+func benchPlanner(b *testing.B) *Planner {
+	b.Helper()
+	m := cost.NewModel(workload.MobileNet())
+	pareto := m.ParetoSet(cost.DefaultGrid())
+	pl, err := New(m, SHAStages(256, 2, 2), pareto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pl
+}
+
+func BenchmarkPlanMinJCT(b *testing.B) {
+	pl := benchPlanner(b)
+	budget := pl.OptimalStatic(0, 1e15).Cost * 1.3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := pl.PlanMinJCT(budget); !res.Feasible {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkExactMinJCT(b *testing.B) {
+	pl := benchPlanner(b)
+	budget := pl.OptimalStatic(0, 1e15).Cost * 1.3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := pl.ExactMinJCT(budget, 2000); !ok {
+			b.Fatal("no plan")
+		}
+	}
+}

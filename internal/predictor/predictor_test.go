@@ -1,0 +1,220 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// groundTruthEpochs runs the engine until target and returns the epoch count.
+func groundTruthEpochs(m *workload.Model, seed uint64, target float64) int {
+	eng := m.NewEngine(workload.Hyperparams{LR: m.DefaultLR}, seed)
+	for e := 1; e <= 10000; e++ {
+		if eng.NextEpoch() <= target {
+			return e
+		}
+	}
+	return 10000
+}
+
+func TestOfflinePredictsRightOrderOfMagnitude(t *testing.T) {
+	m := workload.MobileNet()
+	truth := groundTruthEpochs(m, 100, m.TargetLoss)
+	pred := NewOffline(m).PredictEpochs(m.TargetLoss, 1)
+	if pred < truth/5 || pred > truth*5 {
+		t.Errorf("offline prediction %d wildly off truth %d", pred, truth)
+	}
+}
+
+func TestOfflineWorksForRealModels(t *testing.T) {
+	m := workload.LRHiggs()
+	pred := NewOffline(m).PredictEpochs(m.TargetLoss, 2)
+	if pred < 1 || pred > 100000 {
+		t.Errorf("offline prediction %d out of sane range", pred)
+	}
+}
+
+func TestOfflinePredictionsVaryAcrossSeeds(t *testing.T) {
+	m := workload.ResNet50()
+	o := NewOffline(m)
+	a, b := o.PredictEpochs(m.TargetLoss, 1), o.PredictEpochs(m.TargetLoss, 99)
+	if a == b {
+		t.Skip("identical predictions possible but unlikely; rerun with new seeds")
+	}
+}
+
+func TestOnlineNotReadyEarly(t *testing.T) {
+	o := NewOnline()
+	o.Observe(1, 1.0)
+	o.Observe(2, 0.8)
+	if o.Ready() {
+		t.Error("2 observations should not be enough")
+	}
+	if _, ok := o.PredictTotalEpochs(0.5); ok {
+		t.Error("prediction before ready should fail")
+	}
+}
+
+func TestOnlineRecoversCurve(t *testing.T) {
+	m := workload.MobileNet()
+	truth := groundTruthEpochs(m, 7, m.TargetLoss)
+	eng := m.NewCurveEngine(workload.Hyperparams{LR: m.DefaultLR}, 7)
+	o := NewOnline()
+	var pred int
+	for e := 1; e <= truth/2+2; e++ {
+		o.Observe(e, eng.NextEpoch())
+	}
+	pred, ok := o.PredictTotalEpochs(m.TargetLoss)
+	if !ok {
+		t.Fatal("online prediction unavailable at half horizon")
+	}
+	relErr := math.Abs(float64(pred-truth)) / float64(truth)
+	if relErr > 0.5 {
+		t.Errorf("online prediction %d vs truth %d (err %.0f%%)", pred, truth, relErr*100)
+	}
+}
+
+func TestOnlineErrorShrinksWithObservations(t *testing.T) {
+	// Fig. 4(b): the online error decreases as training progresses.
+	// Average over several seeds to wash out noise.
+	m := workload.ResNet50()
+	const seeds = 8
+	errAt := func(fraction float64) float64 {
+		var sum float64
+		for s := uint64(0); s < seeds; s++ {
+			truth := groundTruthEpochs(m, 200+s, m.TargetLoss)
+			eng := m.NewCurveEngine(workload.Hyperparams{LR: m.DefaultLR}, 200+s)
+			o := NewOnline()
+			upto := int(float64(truth) * fraction)
+			if upto < 4 {
+				upto = 4
+			}
+			for e := 1; e <= upto; e++ {
+				o.Observe(e, eng.NextEpoch())
+			}
+			if pred, ok := o.PredictTotalEpochs(m.TargetLoss); ok {
+				sum += math.Abs(float64(pred-truth)) / float64(truth)
+			} else {
+				sum += 1
+			}
+		}
+		return sum / seeds
+	}
+	early, late := errAt(0.2), errAt(0.8)
+	if late >= early {
+		t.Errorf("online error should shrink: early %.3f, late %.3f", early, late)
+	}
+	if late > 0.25 {
+		t.Errorf("late online error %.3f too high; paper reports ~5%%", late)
+	}
+}
+
+func TestOnlineBeatsOfflineOnAverage(t *testing.T) {
+	// Finding 2: online prediction is more accurate than offline sampling.
+	m := workload.MobileNet()
+	const seeds = 10
+	var offErr, onErr float64
+	for s := uint64(0); s < seeds; s++ {
+		truth := groundTruthEpochs(m, 300+s, m.TargetLoss)
+		off := NewOffline(m).PredictEpochs(m.TargetLoss, 300+s)
+		offErr += math.Abs(float64(off-truth)) / float64(truth)
+
+		eng := m.NewCurveEngine(workload.Hyperparams{LR: m.DefaultLR}, 300+s)
+		o := NewOnline()
+		for e := 1; e <= truth*3/4; e++ {
+			o.Observe(e, eng.NextEpoch())
+		}
+		if pred, ok := o.PredictTotalEpochs(m.TargetLoss); ok {
+			onErr += math.Abs(float64(pred-truth)) / float64(truth)
+		} else {
+			onErr += 1
+		}
+	}
+	if onErr >= offErr {
+		t.Errorf("online total error %.3f should beat offline %.3f", onErr/seeds, offErr/seeds)
+	}
+}
+
+func TestPredictTotalNeverBelowObserved(t *testing.T) {
+	o := NewOnline()
+	// A curve that has already passed the target.
+	losses := []float64{1.0, 0.5, 0.3, 0.2, 0.15, 0.12}
+	for i, l := range losses {
+		o.Observe(i+1, l)
+	}
+	total, ok := o.PredictTotalEpochs(0.5)
+	if !ok {
+		t.Fatal("prediction should be available")
+	}
+	if total < len(losses) {
+		t.Errorf("total %d below observed %d", total, len(losses))
+	}
+}
+
+func TestPredictRemaining(t *testing.T) {
+	m := workload.BERT()
+	eng := m.NewCurveEngine(workload.Hyperparams{LR: m.DefaultLR}, 5)
+	o := NewOnline()
+	for e := 1; e <= 8; e++ {
+		o.Observe(e, eng.NextEpoch())
+	}
+	total, ok1 := o.PredictTotalEpochs(m.TargetLoss)
+	rem, ok2 := o.PredictRemaining(m.TargetLoss)
+	if !ok1 || !ok2 {
+		t.Fatal("predictions unavailable")
+	}
+	if rem != total-8 {
+		t.Errorf("remaining %d != total %d - 8", rem, total)
+	}
+}
+
+func TestUnreachableTargetReported(t *testing.T) {
+	o := NewOnline()
+	// Flat losses: floor ~0.5, target 0.1 unreachable.
+	for e := 1; e <= 10; e++ {
+		o.Observe(e, 0.5+0.001/float64(e))
+	}
+	if _, ok := o.PredictTotalEpochs(0.1); ok {
+		t.Error("target below the fitted floor should be unreachable")
+	}
+}
+
+func TestWindowLimitsFit(t *testing.T) {
+	o := NewOnline()
+	o.Window = 5
+	for e := 1; e <= 20; e++ {
+		o.Observe(e, 1.0/float64(e)+0.2)
+	}
+	if _, ok := o.Curve(); !ok {
+		t.Fatal("windowed fit failed")
+	}
+}
+
+func TestCurveCaching(t *testing.T) {
+	o := NewOnline()
+	for e := 1; e <= 6; e++ {
+		o.Observe(e, 1.0/float64(e)+0.3)
+	}
+	p1, ok := o.Curve()
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	p2, _ := o.Curve()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Error("cached curve changed without new observations")
+		}
+	}
+	o.Observe(7, 0.44)
+	p3, _ := o.Curve()
+	same := true
+	for i := range p1 {
+		if p1[i] != p3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("new observation should refresh the fit")
+	}
+}

@@ -1,0 +1,33 @@
+package psnet
+
+import "testing"
+
+func BenchmarkPushPullRound(b *testing.B) {
+	s, err := NewServer(1, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(addr, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Init(make([]float64, 512)); err != nil {
+		b.Fatal(err)
+	}
+	grad := make([]float64, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Pull(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Push(i, grad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

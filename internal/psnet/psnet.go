@@ -1,0 +1,292 @@
+// Package psnet is a TCP parameter server — the VM-PS of the paper,
+// realized over real sockets with encoding/gob. Unlike the stateless object
+// store, the server aggregates gradients locally (the (2n-2) pattern of
+// Fig. 5): workers PUSH a gradient and block until the round completes,
+// then PULL the updated model. Rounds follow Bulk Synchronous Parallel
+// semantics: the server averages exactly one gradient from each of the n
+// registered workers before applying the update.
+package psnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Op identifies a request type.
+type Op uint8
+
+const (
+	// OpPush submits a gradient for the current round and blocks until the
+	// round's update is applied.
+	OpPush Op = iota + 1
+	// OpPull fetches the current model.
+	OpPull
+	// OpInit seeds the model (first caller wins).
+	OpInit
+)
+
+// Request is the client -> server message.
+type Request struct {
+	Op     Op
+	Worker int
+	Round  int
+	Vec    []float64 // gradient (Push) or initial model (Init)
+}
+
+// Response is the server -> client message.
+type Response struct {
+	OK    bool
+	Err   string
+	Round int
+	Vec   []float64 // model (Pull) or nothing
+}
+
+// Server aggregates gradients for a fixed worker group.
+type Server struct {
+	workers int
+	lr      float64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	model   []float64
+	round   int
+	pending map[int][]float64 // worker -> gradient for the current round
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	pushes, pulls int64
+}
+
+// NewServer returns a parameter server expecting `workers` BSP participants
+// and applying averaged gradients with the given learning rate.
+func NewServer(workers int, lr float64) (*Server, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("psnet: need at least one worker, got %d", workers)
+	}
+	if lr <= 0 {
+		return nil, fmt.Errorf("psnet: non-positive learning rate %g", lr)
+	}
+	s := &Server{
+		workers: workers,
+		lr:      lr,
+		pending: make(map[int][]float64),
+		closed:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" for an ephemeral port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupted
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch req.Op {
+	case OpInit:
+		if s.model == nil {
+			s.model = append([]float64(nil), req.Vec...)
+		}
+		return &Response{OK: true, Round: s.round}
+
+	case OpPull:
+		s.pulls++
+		if s.model == nil {
+			return &Response{Err: "model not initialized"}
+		}
+		return &Response{OK: true, Round: s.round, Vec: append([]float64(nil), s.model...)}
+
+	case OpPush:
+		s.pushes++
+		if s.model == nil {
+			return &Response{Err: "model not initialized"}
+		}
+		if len(req.Vec) != len(s.model) {
+			return &Response{Err: fmt.Sprintf("gradient dim %d != model dim %d", len(req.Vec), len(s.model))}
+		}
+		if req.Round != s.round {
+			return &Response{Err: fmt.Sprintf("stale round %d (current %d)", req.Round, s.round)}
+		}
+		if _, dup := s.pending[req.Worker]; dup {
+			return &Response{Err: fmt.Sprintf("worker %d pushed twice in round %d", req.Worker, req.Round)}
+		}
+		s.pending[req.Worker] = append([]float64(nil), req.Vec...)
+		myRound := s.round
+		if len(s.pending) == s.workers {
+			// Aggregate locally — the whole point of VM-PS — and advance.
+			inv := s.lr / float64(s.workers)
+			for _, g := range s.pending {
+				for i, v := range g {
+					s.model[i] -= inv * v
+				}
+			}
+			s.pending = make(map[int][]float64)
+			s.round++
+			s.cond.Broadcast()
+		} else {
+			for s.round == myRound {
+				s.cond.Wait()
+			}
+		}
+		return &Response{OK: true, Round: s.round}
+
+	default:
+		return &Response{Err: "unknown op"}
+	}
+}
+
+// Round reports the completed round count.
+func (s *Server) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// Model returns a copy of the current model.
+func (s *Server) Model() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.model...)
+}
+
+// Stats reports the operation counters.
+func (s *Server) Stats() (pushes, pulls int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pushes, s.pulls
+}
+
+// Close stops the listener and waits for connections to drain. Blocked
+// pushers are woken with an error-free broadcast; their connections close.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// ErrClosed is returned by clients of a closed server.
+var ErrClosed = errors.New("psnet: server closed")
+
+// Client is one worker's connection to the parameter server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	worker int
+}
+
+// Dial connects worker `worker` to the server at addr.
+func Dial(addr string, worker int) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn, worker: worker,
+		enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+	}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req.Worker = c.worker
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("psnet: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("psnet: recv: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New("psnet: " + resp.Err)
+	}
+	return &resp, nil
+}
+
+// Init seeds the model (idempotent across workers; the first wins).
+func (c *Client) Init(model []float64) error {
+	_, err := c.roundTrip(&Request{Op: OpInit, Vec: model})
+	return err
+}
+
+// Pull fetches the current model and round.
+func (c *Client) Pull() ([]float64, int, error) {
+	resp, err := c.roundTrip(&Request{Op: OpPull})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Vec, resp.Round, nil
+}
+
+// Push submits the worker's gradient for round and blocks until the
+// server applies the round's aggregated update.
+func (c *Client) Push(round int, grad []float64) (newRound int, err error) {
+	resp, err := c.roundTrip(&Request{Op: OpPush, Round: round, Vec: grad})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Round, nil
+}

@@ -1,0 +1,230 @@
+package scheduler
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/predictor"
+	"repro/internal/trainer"
+	"repro/internal/workload"
+)
+
+func newSession(t *testing.T, w *workload.Model, budget, qos float64, delayed bool) (*Scheduler, *trainer.Runner) {
+	t.Helper()
+	m := cost.NewModel(w)
+	pareto := m.ParetoSet(cost.DefaultGrid())
+	if len(pareto) == 0 {
+		t.Fatal("empty pareto set")
+	}
+	s := New(Config{
+		Model: m, Candidates: pareto,
+		Budget: budget, QoS: qos,
+		TargetLoss:     w.TargetLoss,
+		DelayedRestart: delayed,
+		Offline:        predictor.NewOffline(w),
+		OfflineSeed:    7,
+	})
+	return s, trainer.NewRunner(11)
+}
+
+func runSession(t *testing.T, s *Scheduler, r *trainer.Runner, w *workload.Model) *trainer.Result {
+	t.Helper()
+	alloc, _ := s.Initial()
+	if alloc.N == 0 {
+		t.Fatal("Initial returned a zero allocation")
+	}
+	res, err := r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, 13),
+		Alloc:      alloc,
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  500,
+		Controller: s.Controller(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSchedulerConvergesUnderBudget(t *testing.T) {
+	w := workload.MobileNet()
+	// A generous budget: the best static plan is well inside it.
+	s, r := newSession(t, w, 50, 0, true)
+	res := runSession(t, s, r, w)
+	if !res.Converged {
+		t.Fatalf("did not converge: loss %g after %d epochs", res.FinalLoss, res.Epochs)
+	}
+	if res.TotalCost > 50 {
+		t.Errorf("cost %g exceeded budget 50", res.TotalCost)
+	}
+}
+
+func TestSchedulerMeetsQoS(t *testing.T) {
+	w := workload.MobileNet()
+	// First find an unconstrained-ish JCT to set a realistic deadline.
+	probe, rp := newSession(t, w, 1e9, 0, true)
+	base := runSession(t, probe, rp, w)
+	qos := base.JCT * 2
+	s, r := newSession(t, w, 0, qos, true)
+	res := runSession(t, s, r, w)
+	if !res.Converged {
+		t.Fatalf("did not converge under QoS %g", qos)
+	}
+	if res.JCT > qos*1.15 {
+		t.Errorf("JCT %g blew the deadline %g by more than tolerance", res.JCT, qos)
+	}
+}
+
+func TestSchedulerAdjustsAtLeastOnce(t *testing.T) {
+	// The offline estimate is noisy by construction, so the online
+	// prediction should eventually drift past δ and trigger an adjustment
+	// for at least one of several seeds.
+	w := workload.ResNet50()
+	// Probe an unconstrained run to find a binding budget: with slack to
+	// spare the argmin allocation never changes and no restart is needed.
+	probe, rp := newSession(t, w, 1e9, 0, true)
+	base := runSession(t, probe, rp, w)
+	budget := base.TotalCost * 1.05
+	adjusted := false
+	for seed := uint64(1); seed <= 5 && !adjusted; seed++ {
+		m := cost.NewModel(w)
+		pareto := m.ParetoSet(cost.DefaultGrid())
+		s := New(Config{
+			Model: m, Candidates: pareto, Budget: budget,
+			TargetLoss: w.TargetLoss, DelayedRestart: true,
+			Offline: predictor.NewOffline(w), OfflineSeed: seed,
+		})
+		r := trainer.NewRunner(seed)
+		alloc, _ := s.Initial()
+		if _, err := r.Run(trainer.Config{
+			Workload:   w,
+			Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
+			Alloc:      alloc,
+			TargetLoss: w.TargetLoss,
+			MaxEpochs:  500,
+			Controller: s.Controller(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if s.Adjustments > 0 {
+			adjusted = true
+		}
+	}
+	if !adjusted {
+		t.Error("scheduler never adjusted across 5 seeds; online prediction is inert")
+	}
+}
+
+func TestDeltaControlsRestartFrequency(t *testing.T) {
+	// Fig. 21(c): a lower δ must trigger at least as many restarts.
+	w := workload.ResNet50()
+	restarts := func(delta float64) int {
+		m := cost.NewModel(w)
+		pareto := m.ParetoSet(cost.DefaultGrid())
+		s := New(Config{
+			Model: m, Candidates: pareto, Budget: 500,
+			TargetLoss: w.TargetLoss, Delta: delta, DelayedRestart: true,
+			Offline: predictor.NewOffline(w), OfflineSeed: 3,
+		})
+		r := trainer.NewRunner(5)
+		alloc, _ := s.Initial()
+		res, err := r.Run(trainer.Config{
+			Workload:   w,
+			Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, 5),
+			Alloc:      alloc,
+			TargetLoss: w.TargetLoss,
+			MaxEpochs:  500,
+			Controller: s.Controller(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Restarts
+	}
+	low, high := restarts(0.01), restarts(0.4)
+	if low < high {
+		t.Errorf("δ=0.01 restarts %d < δ=0.4 restarts %d", low, high)
+	}
+}
+
+func TestPlanningOverheadScalesWithCandidateSet(t *testing.T) {
+	// §IV-G WO-pa: searching the full enumeration must cost more planning
+	// time than searching the Pareto subset.
+	w := workload.MobileNet()
+	m := cost.NewModel(w)
+	full := m.Enumerate(cost.DefaultGrid())
+	pareto := cost.Pareto(full)
+	if len(pareto) >= len(full) {
+		t.Skip("degenerate grid")
+	}
+	run := func(cands []cost.Point) float64 {
+		s := New(Config{
+			Model: m, Candidates: cands, Budget: 100,
+			TargetLoss: w.TargetLoss, DelayedRestart: true,
+			Offline: predictor.NewOffline(w), OfflineSeed: 1,
+		})
+		r := trainer.NewRunner(2)
+		alloc, _ := s.Initial()
+		res, err := r.Run(trainer.Config{
+			Workload:   w,
+			Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, 2),
+			Alloc:      alloc,
+			TargetLoss: w.TargetLoss,
+			MaxEpochs:  500,
+			Controller: s.Controller(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PlanningTime + s.PlanningSeconds - res.PlanningTime // total planning incl. Initial
+	}
+	if p, f := run(pareto), run(full); f <= p {
+		t.Errorf("full-set planning %g should exceed pareto planning %g", f, p)
+	}
+}
+
+func TestBudgetExhaustionStops(t *testing.T) {
+	w := workload.BERT()
+	s, r := newSession(t, w, 0.5, 0, true) // absurdly small budget
+	alloc, _ := s.Initial()
+	res, err := r.Run(trainer.Config{
+		Workload:   w,
+		Engine:     w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, 3),
+		Alloc:      alloc,
+		TargetLoss: w.TargetLoss,
+		MaxEpochs:  500,
+		Controller: s.Controller(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged && res.TotalCost > 0.5 {
+		t.Error("job converged while violating an exhausted budget")
+	}
+	if res.Epochs >= 500 {
+		t.Error("job should have stopped early on budget exhaustion")
+	}
+}
+
+func TestInitialFallbackWhenConstraintImpossible(t *testing.T) {
+	w := workload.MobileNet()
+	s, _ := newSession(t, w, 1e-9, 0, true)
+	alloc, est := s.Initial()
+	if est < 1 {
+		t.Errorf("offline estimate %d < 1", est)
+	}
+	if alloc.N == 0 {
+		t.Error("Initial should fall back to the cheapest candidate")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := New(Config{Offline: predictor.NewOffline(workload.MobileNet())})
+	if s.cfg.Delta != 0.1 {
+		t.Errorf("default delta = %g, want 0.1", s.cfg.Delta)
+	}
+	if s.cfg.PlanningSecondsPerCandidate <= 0 {
+		t.Error("default planning cost missing")
+	}
+}

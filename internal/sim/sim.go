@@ -1,0 +1,223 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel: a virtual clock, an event queue ordered by (time, priority,
+// insertion order), and named pseudo-random streams.
+//
+// The kernel is deliberately callback-based rather than goroutine-based so
+// that simulations are fully deterministic and cheap: an event is a closure
+// scheduled at an absolute virtual time, and Run drains the queue in order.
+// All simulated subsystems in this repository (the serverless platform, the
+// storage services, the distributed trainer) advance time only through this
+// kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in seconds since the start of
+// the simulation. A float64 keeps the arithmetic in the analytical models
+// and the simulator identical.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = float64
+
+// Seconds returns the time as a plain float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// AsStdDuration converts a virtual duration to a time.Duration for display.
+func AsStdDuration(d Duration) time.Duration {
+	return time.Duration(d * float64(time.Second))
+}
+
+func (t Time) String() string {
+	return fmt.Sprintf("t=%.3fs", float64(t))
+}
+
+// Event is a scheduled callback. Events compare by time, then priority
+// (lower runs first), then insertion sequence, which makes simultaneous
+// events deterministic.
+type Event struct {
+	at       Time
+	priority int
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when not queued
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel marks the event so that it will be skipped when its time comes.
+// Canceling an already-fired event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulation owns a virtual clock and an event queue.
+// The zero value is not usable; construct with New.
+type Simulation struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	rng     map[string]*Rand
+	seed    uint64
+	fired   uint64
+}
+
+// New returns a simulation whose named random streams derive from seed.
+func New(seed uint64) *Simulation {
+	return &Simulation{rng: make(map[string]*Rand), seed: seed}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// EventsFired reports how many events have executed so far.
+func (s *Simulation) EventsFired() uint64 { return s.fired }
+
+// Pending reports how many events are queued (including canceled ones that
+// have not yet been skipped).
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: that is always a bug in the caller.
+func (s *Simulation) Schedule(at Time, fn func()) *Event {
+	return s.SchedulePriority(at, 0, fn)
+}
+
+// ScheduleAfter queues fn to run d seconds from now. Negative d panics.
+func (s *Simulation) ScheduleAfter(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: ScheduleAfter with negative delay %g", d))
+	}
+	return s.Schedule(s.now+Time(d), fn)
+}
+
+// SchedulePriority is Schedule with an explicit tie-break priority; among
+// events at the same instant, lower priority values run first.
+func (s *Simulation) SchedulePriority(at Time, priority int, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(at)))
+	}
+	e := &Event{at: at, priority: priority, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Run drains the event queue until it is empty, advancing the clock to each
+// event's time before invoking it. Events may schedule further events.
+func (s *Simulation) Run() {
+	s.RunUntil(Time(math.Inf(1)))
+}
+
+// RunUntil drains events with time <= limit. The clock is left at the last
+// executed event's time (or at limit if an event beyond it remains queued
+// and limit is finite).
+func (s *Simulation) RunUntil(limit Time) {
+	if s.running {
+		panic("sim: Run re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > limit {
+			if !math.IsInf(float64(limit), 1) {
+				s.now = limit
+			}
+			return
+		}
+		heap.Pop(&s.queue)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.fired++
+		next.fn()
+	}
+	if !math.IsInf(float64(limit), 1) && limit > s.now {
+		s.now = limit
+	}
+}
+
+// Step executes exactly one pending (non-canceled) event and reports whether
+// one was executed.
+func (s *Simulation) Step() bool {
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*Event)
+		if next.canceled {
+			continue
+		}
+		s.now = next.at
+		s.fired++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Rand returns the named deterministic random stream, creating it on first
+// use. Streams with the same name under the same simulation seed always
+// produce the same sequence, independent of other streams, so adding a new
+// consumer of randomness does not perturb existing experiments.
+func (s *Simulation) Rand(name string) *Rand {
+	if r, ok := s.rng[name]; ok {
+		return r
+	}
+	r := NewRand(s.seed ^ hashString(name))
+	s.rng[name] = r
+	return r
+}
+
+func hashString(name string) uint64 {
+	// FNV-1a, inlined to avoid pulling hash/fnv into the hot path.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

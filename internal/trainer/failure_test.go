@@ -1,0 +1,114 @@
+package trainer
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func failureJob(rate float64, noCheckpoint bool, seed uint64) (*Result, error) {
+	w := workload.MobileNet()
+	r := NewRunner(seed)
+	r.Noise.FailureRate = rate
+	return r.Run(Config{
+		Workload:          w,
+		Engine:            w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
+		Alloc:             cost.Allocation{N: 10, MemMB: 1769, Storage: storage.S3},
+		TargetLoss:        w.TargetLoss,
+		MaxEpochs:         400,
+		DisableCheckpoint: noCheckpoint,
+	})
+}
+
+func TestNoFailuresWithoutInjection(t *testing.T) {
+	res, err := failureJob(0, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.FailureTime != 0 {
+		t.Errorf("failures injected without a rate: %d / %g", res.Failures, res.FailureTime)
+	}
+}
+
+func TestFailuresSlowTheJobButItConverges(t *testing.T) {
+	clean, err := failureJob(0, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := failureJob(0.01, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulty.Converged {
+		t.Fatalf("checkpointed job should survive failures (loss %g)", faulty.FinalLoss)
+	}
+	if faulty.Failures == 0 {
+		t.Fatal("1% per-function failure rate at n=10 should produce failures")
+	}
+	if faulty.JCT <= clean.JCT {
+		t.Errorf("failures should inflate JCT: %g vs clean %g", faulty.JCT, clean.JCT)
+	}
+	// Checkpointing bounds the damage: the same number of engine epochs.
+	if faulty.Epochs != clean.Epochs {
+		t.Errorf("checkpointed epochs %d != clean %d", faulty.Epochs, clean.Epochs)
+	}
+	if faulty.FailureTime <= 0 {
+		t.Error("failure time not accounted")
+	}
+}
+
+func TestFailureAccountingBalances(t *testing.T) {
+	res, err := failureJob(0.02, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.ComputeTime + res.SyncTime + res.OverheadTime
+	if diff := sum - res.JCT; diff > 1e-6*res.JCT || diff < -1e-6*res.JCT {
+		t.Errorf("JCT %g != components %g", res.JCT, sum)
+	}
+	if res.FailureTime > res.OverheadTime {
+		t.Error("failure time exceeds total overhead")
+	}
+}
+
+func TestCheckpointingBeatsNoCheckpointUnderFailures(t *testing.T) {
+	// The point of checkpointing through storage: with per-epoch
+	// checkpoints a crash retries one epoch; without them it loses all
+	// progress, so the job needs far more wall epochs (or never finishes).
+	with, err := failureJob(0.008, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := failureJob(0.008, true, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !with.Converged {
+		t.Fatal("checkpointed run should converge")
+	}
+	if without.Converged && without.Epochs <= with.Epochs {
+		t.Errorf("no-checkpoint run converged in %d epochs <= checkpointed %d; restarts had no cost",
+			without.Epochs, with.Epochs)
+	}
+}
+
+func TestFailedAttemptsAreBilled(t *testing.T) {
+	clean, err := failureJob(0, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := failureJob(0.02, false, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Failures == 0 {
+		t.Skip("no failures drawn at this seed")
+	}
+	// Same engine epochs, strictly more bill: the platform charges for
+	// crashed attempts too.
+	if faulty.TotalCost <= clean.TotalCost {
+		t.Errorf("faulty cost %g should exceed clean %g", faulty.TotalCost, clean.TotalCost)
+	}
+}

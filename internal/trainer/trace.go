@@ -1,0 +1,40 @@
+package trainer
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTraceCSV writes a job's per-epoch trace as CSV (header row first):
+// epoch, loss, allocation dimensions, wall time and cost components. The
+// cescale CLI exposes this for offline analysis of scheduling decisions.
+func WriteTraceCSV(w io.Writer, trace []EpochReport) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"epoch", "loss", "functions", "memory_mb", "storage",
+		"time_sec", "compute_sec", "sync_sec", "cost_usd", "storage_cost_usd",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, e := range trace {
+		row := []string{
+			fmt.Sprintf("%d", e.Epoch),
+			fmt.Sprintf("%.6f", e.Loss),
+			fmt.Sprintf("%d", e.Alloc.N),
+			fmt.Sprintf("%d", e.Alloc.MemMB),
+			e.Alloc.Storage.String(),
+			fmt.Sprintf("%.3f", e.Time),
+			fmt.Sprintf("%.3f", e.ComputeTime),
+			fmt.Sprintf("%.3f", e.SyncTime),
+			fmt.Sprintf("%.6f", e.Cost),
+			fmt.Sprintf("%.6f", e.StorageCost),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

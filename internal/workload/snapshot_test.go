@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCurveEngineSnapshotRestore(t *testing.T) {
+	m := MobileNet()
+	eng := m.NewCurveEngine(Hyperparams{LR: m.DefaultLR}, 5)
+	snap, ok := eng.(Snapshotter)
+	if !ok {
+		t.Fatal("curve engine should snapshot")
+	}
+	for e := 0; e < 5; e++ {
+		eng.NextEpoch()
+	}
+	state := snap.Snapshot()
+	if len(state) != 2 {
+		t.Fatalf("curve snapshot has %d values", len(state))
+	}
+	lossAt, epochAt := eng.Loss(), eng.EpochsRun()
+	eng.NextEpoch()
+	eng.NextEpoch()
+	if err := snap.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Loss() != lossAt || eng.EpochsRun() != epochAt {
+		t.Errorf("restore: loss %g epoch %d, want %g %d", eng.Loss(), eng.EpochsRun(), lossAt, epochAt)
+	}
+	if err := snap.Restore([]float64{1}); err == nil {
+		t.Error("short state accepted")
+	}
+}
+
+func TestRealEngineSnapshotRestore(t *testing.T) {
+	m := LRHiggs()
+	e, err := m.NewRealEngine(Hyperparams{LR: m.DefaultLR}, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := e.(Snapshotter)
+	for i := 0; i < 3; i++ {
+		e.NextEpoch()
+	}
+	state := eng.Snapshot()
+	lossAt := e.Loss()
+	if e.EpochsRun() != 3 {
+		t.Fatalf("EpochsRun = %d", e.EpochsRun())
+	}
+	for i := 0; i < 3; i++ {
+		e.NextEpoch()
+	}
+	if err := eng.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Loss()-lossAt) > 1e-12 {
+		t.Errorf("restored loss %g, want %g", e.Loss(), lossAt)
+	}
+	// Training resumes from the restored weights: the next epoch's loss
+	// should track where the snapshot left off, not the later state.
+	next := e.NextEpoch()
+	if next > lossAt*1.1 {
+		t.Errorf("post-restore epoch regressed: %g from %g", next, lossAt)
+	}
+	if err := eng.Restore([]float64{1}); err == nil {
+		t.Error("short state accepted")
+	}
+}
+
+func TestRealEngineLossAccessor(t *testing.T) {
+	m := SVMHiggs()
+	e, err := m.NewRealEngine(Hyperparams{LR: m.DefaultLR}, 800, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := e.Loss()
+	if initial <= 0 {
+		t.Fatalf("initial loss %g", initial)
+	}
+	after := e.NextEpoch()
+	if e.Loss() != after {
+		t.Error("Loss() should return the latest epoch's loss")
+	}
+	if e.EpochsRun() != 1 {
+		t.Errorf("EpochsRun = %d, want 1", e.EpochsRun())
+	}
+}

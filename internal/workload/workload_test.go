@@ -1,0 +1,254 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestModelSizesMatchPaper(t *testing.T) {
+	if m := MobileNet(); m.ParamsMB != 12 {
+		t.Errorf("MobileNet size = %g, want 12", m.ParamsMB)
+	}
+	if m := ResNet50(); m.ParamsMB != 89 {
+		t.Errorf("ResNet50 size = %g, want 89", m.ParamsMB)
+	}
+	if m := BERT(); m.ParamsMB != 340 {
+		t.Errorf("BERT size = %g, want 340", m.ParamsMB)
+	}
+	if m := LRHiggs(); m.ParamsMB > 0.4 {
+		t.Errorf("LR model must fit DynamoDB's 400KB limit, got %g MB", m.ParamsMB)
+	}
+}
+
+func TestTableIVConfigs(t *testing.T) {
+	cases := []struct {
+		m      *Model
+		batch  int
+		lr     float64
+		target float64
+	}{
+		{LRHiggs(), 10000, 0.01, 0.66},
+		{SVMHiggs(), 10000, 0.01, 0.48},
+		{LRYFCC(), 800, 0.01, 50},
+		{MobileNet(), 128, 0.01, 0.2},
+		{ResNet50(), 32, 0.01, 0.4},
+		{BERT(), 32, 0.00005, 0.6},
+	}
+	for _, c := range cases {
+		if c.m.Batch != c.batch || c.m.DefaultLR != c.lr || c.m.TargetLoss != c.target {
+			t.Errorf("%s config = (%d, %g, %g), want (%d, %g, %g)",
+				c.m.Name, c.m.Batch, c.m.DefaultLR, c.m.TargetLoss, c.batch, c.lr, c.target)
+		}
+	}
+}
+
+func TestEvaluatedListsFiveModels(t *testing.T) {
+	ev := Evaluated()
+	if len(ev) != 5 {
+		t.Fatalf("Evaluated returned %d models", len(ev))
+	}
+	real := 0
+	for _, m := range ev {
+		if m.Real() {
+			real++
+		}
+	}
+	if real != 2 {
+		t.Errorf("%d real models among evaluated, want 2 (LR, SVM)", real)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"LR-Higgs", "BERT-IMDb", "LR-YFCC"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("GPT-9"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestUDecreasesWithMemoryUntilCap(t *testing.T) {
+	m := MobileNet()
+	if !(m.U(512) > m.U(1769) && m.U(1769) > m.U(3538)) {
+		t.Error("u(m) should decrease with memory")
+	}
+	// Past the vCPU cap more memory no longer helps.
+	capMB := int(m.VCPUCap * 1769)
+	if math.Abs(m.U(capMB)-m.U(capMB+2048)) > 1e-12 {
+		t.Error("u(m) should flatten past the vCPU cap")
+	}
+	// One full vCPU processes 1MB in UBase seconds.
+	if got := m.U(1769); math.Abs(got-m.UBase) > 1e-9 {
+		t.Errorf("U(1769) = %g, want UBase %g", got, m.UBase)
+	}
+}
+
+func TestLinearModelsCappedAtTwoVCPU(t *testing.T) {
+	m := LRHiggs()
+	if m.U(2*1769) != m.U(6*1769) {
+		t.Error("LR should not speed up past 2 vCPUs")
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	b := BERT()
+	if b.Feasible(10, 512) {
+		t.Error("BERT cannot run in 512MB")
+	}
+	if !b.Feasible(10, 4096) {
+		t.Error("BERT should run in 4GB with 10 functions")
+	}
+	lr := LRHiggs()
+	if lr.Feasible(1, 512) {
+		t.Error("a single 512MB function cannot hold the whole 2.4GB Higgs")
+	}
+	if !lr.Feasible(50, 512) {
+		t.Error("50-way split of Higgs should fit 512MB functions")
+	}
+}
+
+func TestIterationsPerEpoch(t *testing.T) {
+	m := LRHiggs() // 11M samples, batch 10k
+	if got := m.IterationsPerEpoch(10); got != 110 {
+		t.Errorf("k = %d, want 110", got)
+	}
+	if got := m.IterationsPerEpoch(11_000_000); got != 1 {
+		t.Errorf("k floor = %d, want 1", got)
+	}
+}
+
+func TestCurveParamsEpochsToReach(t *testing.T) {
+	cp := CurveParams{A: 0.2, B: 0.5, C: 0.1}
+	e, ok := cp.EpochsToReach(0.3)
+	if !ok {
+		t.Fatal("target above floor should be reachable")
+	}
+	if cp.Eval(float64(e)) > 0.3+1e-9 {
+		t.Errorf("after %d epochs curve is %g > 0.3", e, cp.Eval(float64(e)))
+	}
+	if cp.Eval(float64(e-1)) <= 0.3 {
+		t.Errorf("EpochsToReach not minimal: epoch %d already at %g", e-1, cp.Eval(float64(e-1)))
+	}
+	if _, ok := cp.EpochsToReach(0.05); ok {
+		t.Error("target below floor should be unreachable")
+	}
+}
+
+func TestModelsConvergeToTargets(t *testing.T) {
+	// Every evaluated model must be able to reach its Table IV target with
+	// the default hyperparameters — otherwise no experiment terminates.
+	for _, m := range Evaluated() {
+		eng := m.NewEngine(Hyperparams{LR: m.DefaultLR}, 42)
+		reached := false
+		for e := 0; e < 300; e++ {
+			if eng.NextEpoch() <= m.TargetLoss {
+				reached = true
+				break
+			}
+		}
+		if !reached {
+			t.Errorf("%s never reached target %g (last loss %g after %d epochs)",
+				m.Name, m.TargetLoss, eng.Loss(), eng.EpochsRun())
+		}
+	}
+}
+
+func TestCurveEngineNoiseBounded(t *testing.T) {
+	m := MobileNet()
+	eng := m.NewCurveEngine(Hyperparams{LR: m.DefaultLR}, 7)
+	prev := eng.Loss()
+	increases := 0
+	for e := 0; e < 50; e++ {
+		l := eng.NextEpoch()
+		if l > prev {
+			increases++
+		}
+		prev = l
+	}
+	// Noise may cause occasional upticks but the trend must be downward.
+	if increases > 20 {
+		t.Errorf("loss increased on %d of 50 epochs; curve is not converging", increases)
+	}
+}
+
+func TestBadLearningRateConvergesSlower(t *testing.T) {
+	m := ResNet50()
+	lossAfter := func(lr float64) float64 {
+		eng := m.NewCurveEngine(Hyperparams{LR: lr}, 11)
+		var l float64
+		for e := 0; e < 20; e++ {
+			l = eng.NextEpoch()
+		}
+		return l
+	}
+	good, bad := lossAfter(m.LROpt), lossAfter(m.LROpt*300)
+	if bad <= good {
+		t.Errorf("a wildly wrong lr should converge worse: good=%g bad=%g", good, bad)
+	}
+}
+
+func TestRealEngineRejectsCurveOnlyModels(t *testing.T) {
+	if _, err := MobileNet().NewRealEngine(Hyperparams{}, 100, 1); err == nil {
+		t.Error("MobileNet should not offer a real engine")
+	}
+}
+
+func TestRealEngineTrainsDeterministically(t *testing.T) {
+	run := func() []float64 {
+		eng, err := LRHiggs().NewRealEngine(Hyperparams{LR: 0.01}, 1000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for e := 0; e < 3; e++ {
+			out = append(out, eng.NextEpoch())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("real engine is not deterministic")
+		}
+	}
+}
+
+func TestYFCCRegressionEngineReachesTarget(t *testing.T) {
+	m := LRYFCC()
+	eng, err := m.NewRealEngine(Hyperparams{LR: m.DefaultLR}, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dataset.Task != dataset.Regression {
+		t.Fatal("YFCC should be a regression task")
+	}
+	reached := false
+	for e := 0; e < 200; e++ {
+		if eng.NextEpoch() <= m.TargetLoss {
+			reached = true
+			break
+		}
+	}
+	if !reached {
+		t.Errorf("LR-YFCC did not reach target %g, last loss %g", m.TargetLoss, eng.Loss())
+	}
+}
+
+func TestEngineSeedsVary(t *testing.T) {
+	m := BERT()
+	a := m.NewCurveEngine(Hyperparams{LR: m.DefaultLR}, 1)
+	b := m.NewCurveEngine(Hyperparams{LR: m.DefaultLR}, 2)
+	var diff bool
+	for e := 0; e < 10; e++ {
+		if a.NextEpoch() != b.NextEpoch() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should produce different loss traces")
+	}
+}
