@@ -1,0 +1,29 @@
+GO ?= go
+
+# Packages that run real goroutine concurrency (live substrate) and must
+# stay race-clean.
+RACE_PKGS := ./internal/distml/... ./internal/psnet/... ./internal/objstore/... \
+             ./internal/lambda/... ./internal/platform/livebackend/...
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...

@@ -13,8 +13,13 @@
 //	profile  print the workload's Pareto boundary (epoch time/cost per θ)
 //	tune     plan hyperparameter tuning: one allocation per SHA stage
 //	train    pick the initial training allocation from the offline estimate
-//	run      execute a full training job on the simulated substrate and
-//	         report the measured JCT, cost and allocation timeline
+//	run      execute a full training job and report the measured JCT, cost
+//	         and allocation timeline
+//
+// The -backend flag selects the substrate run mode executes on: "sim" (the
+// default discrete-event simulation) or "live" (real concurrent workers in
+// the local serverless executor, synchronizing over HTTP object storage and
+// TCP parameter servers).
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"os"
 
 	"repro/cescaling"
+	"repro/internal/platform/livebackend"
 )
 
 type allocJSON struct {
@@ -94,15 +100,16 @@ func toAllocJSON(a cescaling.Allocation) allocJSON {
 
 func main() {
 	var (
-		model  = flag.String("model", "LR-Higgs", "workload (LR-Higgs, SVM-Higgs, MobileNet-Cifar10, ResNet50-Cifar10, BERT-IMDb, LR-YFCC, SVM-YFCC)")
-		mode   = flag.String("mode", "profile", "profile | tune | train")
-		budget = flag.Float64("budget", 0, "budget constraint in USD (minimize JCT)")
-		qos    = flag.Float64("qos", 0, "QoS deadline in seconds (minimize cost)")
-		trials = flag.Int("trials", 512, "tuning trial population")
-		eta    = flag.Int("eta", 2, "SHA reduction factor")
-		epochs = flag.Int("stage-epochs", 2, "epochs per tuning stage")
-		seed   = flag.Uint64("seed", 2023, "deterministic seed")
-		trace  = flag.String("trace", "", "run mode: also write the per-epoch trace to this CSV file")
+		model   = flag.String("model", "LR-Higgs", "workload (LR-Higgs, SVM-Higgs, MobileNet-Cifar10, ResNet50-Cifar10, BERT-IMDb, LR-YFCC, SVM-YFCC)")
+		mode    = flag.String("mode", "profile", "profile | tune | train | run")
+		budget  = flag.Float64("budget", 0, "budget constraint in USD (minimize JCT)")
+		qos     = flag.Float64("qos", 0, "QoS deadline in seconds (minimize cost)")
+		trials  = flag.Int("trials", 512, "tuning trial population")
+		eta     = flag.Int("eta", 2, "SHA reduction factor")
+		epochs  = flag.Int("stage-epochs", 2, "epochs per tuning stage")
+		seed    = flag.Uint64("seed", 2023, "deterministic seed")
+		trace   = flag.String("trace", "", "run mode: also write the per-epoch trace to this CSV file")
+		backend = flag.String("backend", "sim", "run mode substrate: sim | live")
 	)
 	flag.Parse()
 
@@ -177,8 +184,22 @@ func main() {
 		if (*budget > 0) == (*qos > 0) {
 			fatal(fmt.Errorf("run mode needs exactly one of -budget or -qos"))
 		}
-		out, err := fw.Train(cescaling.Options{Budget: *budget, QoS: *qos, Seed: *seed}, cescaling.NewRunner(*seed))
+		runner, err := cescaling.NewRunnerWithConfig(cescaling.Config{Backend: *backend, Seed: *seed})
 		if err != nil {
+			fatal(err)
+		}
+		out, err := fw.Train(cescaling.Options{Budget: *budget, QoS: *qos, Seed: *seed}, runner)
+		if err != nil {
+			cescaling.CloseRunner(runner)
+			fatal(err)
+		}
+		if lb, ok := runner.Backend.(*livebackend.Backend); ok {
+			s := lb.Stats()
+			fmt.Fprintf(os.Stderr,
+				"cescale: live substrate: %d invocations (%d cold), %d epoch barriers, %d object puts, %d gets, %d parameter-server rounds\n",
+				s.Invocations, s.ColdStarts, s.EpochBarriers, s.ObjPuts, s.ObjGets, s.PSRounds)
+		}
+		if err := cescaling.CloseRunner(runner); err != nil {
 			fatal(err)
 		}
 		r := out.Result

@@ -12,10 +12,10 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/cost"
 	"repro/internal/planner"
+	"repro/internal/platform"
 	"repro/internal/predictor"
 	"repro/internal/scheduler"
 	"repro/internal/sha"
-	"repro/internal/storage"
 	"repro/internal/trainer"
 	"repro/internal/workload"
 )
@@ -63,7 +63,7 @@ type Options struct {
 	DisablePareto bool
 	// PinStorage, when non-nil, restricts allocations to one storage
 	// service (the Fig. 16-18 experiments).
-	PinStorage *storage.Kind
+	PinStorage *platform.StorageKind
 
 	Seed uint64
 }

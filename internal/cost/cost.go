@@ -8,7 +8,10 @@ package cost
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/faas"
 	"repro/internal/pricing"
@@ -217,8 +220,82 @@ func DefaultGrid() Grid {
 	}
 }
 
-// Enumerate evaluates every feasible allocation of the grid.
+// Enumerate evaluates every feasible allocation of the grid. The grid
+// points are independent, so a bounded worker pool (one worker per
+// available CPU) evaluates them concurrently into index-addressed slots
+// that are merged in grid order (n, then memory, then storage) — the
+// output is byte-identical to a serial scan.
 func (m *Model) Enumerate(g Grid) []Point {
+	total := len(g.Ns) * len(g.MemsMB) * len(g.Storages)
+	if total == 0 {
+		return nil
+	}
+	at := func(idx int) Allocation {
+		k := idx % len(g.Storages)
+		j := (idx / len(g.Storages)) % len(g.MemsMB)
+		i := idx / (len(g.Storages) * len(g.MemsMB))
+		return Allocation{N: g.Ns[i], MemMB: g.MemsMB[j], Storage: g.Storages[k]}
+	}
+	// One grid point costs ~150ns to evaluate, so workers claim chunks, not
+	// points: one atomic op per chunk and contiguous slot writes (no false
+	// sharing inside a chunk).
+	const chunk = 512
+	workers := runtime.GOMAXPROCS(0)
+	if max := (total + chunk - 1) / chunk; workers > max {
+		workers = max
+	}
+	slots := make([]Point, total)
+	feasible := make([]bool, total)
+	if workers <= 1 {
+		enumerateRange(m, g, at, slots, feasible, 0, total)
+	} else {
+		var (
+			next int64
+			wg   sync.WaitGroup
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, chunk)) - chunk
+					if lo >= total {
+						return
+					}
+					hi := lo + chunk
+					if hi > total {
+						hi = total
+					}
+					enumerateRange(m, g, at, slots, feasible, lo, hi)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	out := make([]Point, 0, total)
+	for idx, ok := range feasible {
+		if ok {
+			out = append(out, slots[idx])
+		}
+	}
+	return out
+}
+
+// enumerateRange evaluates grid points [lo, hi) into their slots.
+func enumerateRange(m *Model, g Grid, at func(int) Allocation, slots []Point, feasible []bool, lo, hi int) {
+	for idx := lo; idx < hi; idx++ {
+		a := at(idx)
+		if !m.Feasible(a) {
+			continue
+		}
+		slots[idx] = Point{Alloc: a, Time: m.EpochTime(a), Cost: m.EpochCost(a)}
+		feasible[idx] = true
+	}
+}
+
+// enumerateSerial is the reference single-threaded scan Enumerate must
+// match; kept for the equivalence test and the benchmark baseline.
+func (m *Model) enumerateSerial(g Grid) []Point {
 	var out []Point
 	for _, n := range g.Ns {
 		for _, mem := range g.MemsMB {

@@ -1,0 +1,36 @@
+package cost
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestEnumerateMatchesSerial asserts the concurrent enumeration produces
+// exactly the serial scan's output: same points, same grid order. The
+// worker pool is forced on even on single-CPU hosts.
+func TestEnumerateMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	grids := map[string]Grid{
+		"default": DefaultGrid(),
+		"dense":   denseGrid(),
+		"single":  {Ns: []int{10}, MemsMB: []int{1769}, Storages: DefaultGrid().Storages},
+		"empty":   {},
+	}
+	for _, w := range workload.Evaluated() {
+		m := NewModel(w)
+		for name, g := range grids {
+			got := m.Enumerate(g)
+			want := m.enumerateSerial(g)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%s: %d points, want %d", w.Name, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%s: point %d = %+v, want %+v", w.Name, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

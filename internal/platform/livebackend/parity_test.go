@@ -1,0 +1,115 @@
+package livebackend_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/platform"
+	"repro/internal/platform/livebackend"
+	"repro/internal/trainer"
+	"repro/internal/workload"
+)
+
+// smallGrid keeps the live run cheap: a handful of workers per group, all
+// four storage services so both the object-store and parameter-server wire
+// patterns can be exercised.
+func smallGrid() cost.Grid {
+	return cost.Grid{
+		Ns:       []int{2, 4, 8},
+		MemsMB:   []int{1024, 2048},
+		Storages: platform.StorageKinds(),
+	}
+}
+
+// TestSimLiveDecisionParity runs the same small LR training job through the
+// adaptive scheduler on the simulated and the live backend and asserts the
+// controller makes identical allocation decisions: same per-epoch
+// allocations, same restarts, same JCT and cost. The live run additionally
+// executes a real synchronization barrier per epoch across real workers.
+func TestSimLiveDecisionParity(t *testing.T) {
+	w, err := workload.ByName("LR-Higgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := core.NewWithGrid(w, smallGrid())
+	opt := core.Options{QoS: 6 * 3600, Delta: 0.02, Seed: 11}
+
+	simOut, err := fw.Train(opt, trainer.NewRunner(opt.Seed))
+	if err != nil {
+		t.Fatalf("sim run: %v", err)
+	}
+
+	lb, err := livebackend.New(livebackend.Config{Seed: opt.Seed})
+	if err != nil {
+		t.Fatalf("live backend: %v", err)
+	}
+	defer lb.Close()
+	liveOut, err := fw.Train(opt, trainer.NewRunnerOn(lb))
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+
+	simRes, liveRes := simOut.Result, liveOut.Result
+	if simRes.Epochs != liveRes.Epochs {
+		t.Fatalf("epochs diverge: sim %d, live %d", simRes.Epochs, liveRes.Epochs)
+	}
+	if simRes.Restarts != liveRes.Restarts {
+		t.Errorf("restarts diverge: sim %d, live %d", simRes.Restarts, liveRes.Restarts)
+	}
+	for i := range simRes.Trace {
+		if simRes.Trace[i].Alloc != liveRes.Trace[i].Alloc {
+			t.Fatalf("epoch %d allocation diverges: sim %+v, live %+v",
+				i+1, simRes.Trace[i].Alloc, liveRes.Trace[i].Alloc)
+		}
+	}
+	if simRes.JCT != liveRes.JCT {
+		t.Errorf("JCT diverges: sim %v, live %v", simRes.JCT, liveRes.JCT)
+	}
+	if simRes.TotalCost != liveRes.TotalCost {
+		t.Errorf("cost diverges: sim %v, live %v", simRes.TotalCost, liveRes.TotalCost)
+	}
+	if !liveRes.Converged {
+		t.Error("live run did not converge")
+	}
+
+	// The parity is not vacuous: the live substrate really did the work.
+	s := lb.Stats()
+	if s.Invocations == 0 || s.EpochBarriers == 0 {
+		t.Fatalf("live substrate did no real work: %+v", s)
+	}
+	if int(s.EpochBarriers) != liveRes.Epochs {
+		t.Errorf("barriers %d != epochs %d", s.EpochBarriers, liveRes.Epochs)
+	}
+	if s.ObjPuts == 0 {
+		t.Error("no real object-store traffic")
+	}
+}
+
+// TestLiveParameterServerPath pins storage to VM-PS so every live epoch runs
+// a real TCP parameter-server round (push/pull with a BSP barrier).
+func TestLiveParameterServerPath(t *testing.T) {
+	w, err := workload.ByName("LR-Higgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := core.NewWithGrid(w, smallGrid())
+	pin := platform.VMPS
+	opt := core.Options{QoS: 6 * 3600, Seed: 3, PinStorage: &pin}
+
+	lb, err := livebackend.New(livebackend.Config{Seed: opt.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	out, err := fw.Train(opt, trainer.NewRunnerOn(lb))
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	if !out.Result.Converged {
+		t.Error("live VM-PS run did not converge")
+	}
+	if s := lb.Stats(); s.PSRounds == 0 {
+		t.Errorf("no parameter-server rounds ran: %+v", s)
+	}
+}

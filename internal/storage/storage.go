@@ -223,6 +223,10 @@ func (s *Service) Stateless() bool { return s.stateless }
 // ChargeModel reports how the service bills.
 func (s *Service) ChargeModel() ChargeModel { return s.charge }
 
+// ChargesByRequest reports whether the service bills per request rather than
+// per provisioned runtime (the two pricing patterns of Eq. 5).
+func (s *Service) ChargesByRequest() bool { return s.charge == ByRequest }
+
 // Latency returns the per-request latency in seconds.
 func (s *Service) Latency() float64 { return s.latency }
 

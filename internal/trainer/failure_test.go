@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/cost"
-	"repro/internal/storage"
+	"repro/internal/platform"
 	"repro/internal/workload"
 )
 
@@ -15,7 +15,7 @@ func failureJob(rate float64, noCheckpoint bool, seed uint64) (*Result, error) {
 	return r.Run(Config{
 		Workload:          w,
 		Engine:            w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
-		Alloc:             cost.Allocation{N: 10, MemMB: 1769, Storage: storage.S3},
+		Alloc:             cost.Allocation{N: 10, MemMB: 1769, Storage: platform.S3},
 		TargetLoss:        w.TargetLoss,
 		MaxEpochs:         400,
 		DisableCheckpoint: noCheckpoint,

@@ -1,11 +1,13 @@
-// Package trainer is the ground-truth simulator of distributed training
-// jobs on the serverless substrate. It executes a job epoch by epoch inside
-// the discrete-event simulation: functions cold-start, load their data
-// partitions, compute gradients for k BSP iterations, synchronize through
-// the selected storage service, and are billed by the platform and storage
-// meters.
+// Package trainer is the ground-truth executor of distributed training jobs
+// on a serverless substrate. It executes a job epoch by epoch against the
+// platform interfaces: functions cold-start, load their data partitions,
+// compute gradients for k BSP iterations, synchronize through the selected
+// storage service, and are billed by the platform and storage meters. On the
+// default simulated backend everything happens inside the discrete-event
+// simulation; on the live backend each epoch additionally drives one real
+// synchronization barrier across real concurrent workers.
 //
-// Unlike the analytical models in internal/cost, the simulator injects the
+// Unlike the analytical models in internal/cost, the executor injects the
 // effects the paper's validation section attributes its estimation error to
 // (Fig. 19-20): per-function straggler noise under BSP (the epoch waits for
 // the slowest of n functions), network instability that grows with the
@@ -20,10 +22,9 @@ import (
 	"math"
 
 	"repro/internal/cost"
-	"repro/internal/faas"
+	"repro/internal/platform"
+	"repro/internal/platform/simbackend"
 	"repro/internal/pricing"
-	"repro/internal/sim"
-	"repro/internal/storage"
 	"repro/internal/workload"
 )
 
@@ -139,54 +140,106 @@ type Config struct {
 	Controller Controller // optional
 }
 
-// Runner executes jobs on one simulated substrate.
+// Runner executes jobs on one substrate behind the platform interfaces.
 type Runner struct {
-	Sim      *sim.Simulation
-	Platform *faas.Platform
-	Prices   pricing.PriceBook
-	Noise    Noise
-	Store    *storage.Store
+	Backend platform.Backend
+	Prices  pricing.PriceBook
+	Noise   Noise
 
-	services map[storage.Kind]*storage.Service
-	// provisioned tracks manually-scaled services already set up on this
-	// substrate: an ElastiCache cluster or parameter-server VM is
-	// provisioned once per workflow, not once per function group.
-	provisioned map[storage.Kind]bool
+	// delayPaid tracks manually-scaled services whose provisioning delay has
+	// already been paid on this substrate: an ElastiCache cluster or
+	// parameter-server VM starts up once per workflow, not once per group or
+	// per job (re-using it later in the runner's lifetime is free in time).
+	delayPaid map[platform.StorageKind]bool
+	// leases counts jobs currently holding each manually-scaled service;
+	// accruedSec accumulates the provisioned seconds of closed leases. A
+	// service's hourly meter runs only while leases[kind] > 0 — releasing
+	// the lease at job end is what stops the bill from accruing.
+	leases     map[platform.StorageKind]int
+	accruedSec map[platform.StorageKind]float64
 }
 
-// ensureProvisioned returns the provisioning delay to pay for using svc now
-// (zero if the service auto-scales or was provisioned earlier in this
-// runner's lifetime) and marks it provisioned.
-func (r *Runner) ensureProvisioned(kind storage.Kind) float64 {
-	if r.provisioned[kind] {
+// NewRunner returns a runner on a fresh simulated substrate with default
+// platform, prices and noise, seeded deterministically.
+func NewRunner(seed uint64) *Runner {
+	return NewRunnerOn(simbackend.New(seed))
+}
+
+// NewRunnerOn returns a runner executing on the given substrate, with the
+// substrate's price book and default noise.
+func NewRunnerOn(b platform.Backend) *Runner {
+	return &Runner{
+		Backend:    b,
+		Prices:     b.Prices(),
+		Noise:      DefaultNoise(),
+		delayPaid:  make(map[platform.StorageKind]bool),
+		leases:     make(map[platform.StorageKind]int),
+		accruedSec: make(map[platform.StorageKind]float64),
+	}
+}
+
+// Compute returns the substrate's function-execution interface.
+func (r *Runner) Compute() platform.Compute { return r.Backend.Compute() }
+
+// Params returns the substrate's model-state interface.
+func (r *Runner) Params() platform.ParamStore { return r.Backend.Params() }
+
+// Service returns the substrate's storage metering model for kind.
+func (r *Runner) Service(k platform.StorageKind) platform.StorageService {
+	return r.Backend.Params().Service(k)
+}
+
+// acquireService opens (or re-enters) the job's lease on a manually-scaled
+// storage service and returns the provisioning delay to pay for using it now
+// (zero if the service auto-scales or its startup was already paid earlier
+// in this runner's lifetime).
+func (r *Runner) acquireService(st *state, kind platform.StorageKind) float64 {
+	svc := r.Service(kind)
+	delay := svc.ProvisionDelay()
+	if delay > 0 {
+		if _, held := st.held[kind]; !held {
+			if st.held == nil {
+				st.held = make(map[platform.StorageKind]float64)
+			}
+			st.held[kind] = st.clock
+			r.leases[kind]++
+		}
+	}
+	if r.delayPaid[kind] {
 		return 0
 	}
-	r.provisioned[kind] = true
-	return r.services[kind].ProvisionDelay()
+	r.delayPaid[kind] = true
+	return delay
 }
 
-// NewRunner returns a runner with default platform, prices and noise,
-// seeded deterministically.
-func NewRunner(seed uint64) *Runner {
-	s := sim.New(seed)
-	pb := pricing.Default()
-	r := &Runner{
-		Sim:         s,
-		Platform:    faas.NewDefault(s),
-		Prices:      pb,
-		Noise:       DefaultNoise(),
-		Store:       storage.NewStore(),
-		services:    make(map[storage.Kind]*storage.Service),
-		provisioned: make(map[storage.Kind]bool),
+// releaseServices closes the job's service leases, folding each lease's
+// provisioned wall time into the runner's accrual meter. After the last
+// lease on a kind closes, its hourly meter stops.
+func (r *Runner) releaseServices(st *state) {
+	for kind, since := range st.held {
+		r.accruedSec[kind] += st.clock - since
+		if r.leases[kind]--; r.leases[kind] <= 0 {
+			delete(r.leases, kind)
+		}
 	}
-	for _, k := range storage.ExtendedKinds() {
-		r.services[k] = storage.New(k, pb)
-	}
-	return r
+	st.held = nil
 }
 
-// Service returns the runner's storage model for kind.
-func (r *Runner) Service(k storage.Kind) *storage.Service { return r.services[k] }
+// ServiceLeases reports how many running jobs currently hold the
+// manually-scaled service kind provisioned.
+func (r *Runner) ServiceLeases(kind platform.StorageKind) int { return r.leases[kind] }
+
+// ProvisionedSeconds reports the provisioned wall time accrued against kind
+// by finished jobs. It stops growing once every lease is released.
+func (r *Runner) ProvisionedSeconds(kind platform.StorageKind) float64 {
+	return r.accruedSec[kind]
+}
+
+// ProvisionedCost prices the accrued provisioned time of kind under its
+// runtime-charged model (zero for request-charged services).
+func (r *Runner) ProvisionedCost(kind platform.StorageKind) float64 {
+	return r.Service(kind).RuntimeCost(r.accruedSec[kind])
+}
 
 // state tracks one running job.
 type state struct {
@@ -200,6 +253,9 @@ type state struct {
 	// pendingReady is the virtual time at which the delayed group is ready.
 	pendingReady float64
 	clock        float64 // job-relative elapsed time
+	// held maps each manually-scaled service this job has provisioned to
+	// the job clock at acquisition (its lease on the hourly meter).
+	held map[platform.StorageKind]float64
 	// asyncProgress accumulates fractional statistical progress under ASP;
 	// the loss engine advances one epoch each time it crosses 1.
 	asyncProgress float64
@@ -218,10 +274,10 @@ func (r *Runner) Run(cfg Config) (*Result, error) {
 		if err := job.Step(); err != nil {
 			return nil, err
 		}
-		// Advance the shared virtual clock so time-based platform events
+		// Advance the shared clock so time-based substrate events
 		// (warm-sandbox expiry) fire as the job progresses. The cluster
 		// scheduler drives this itself when jobs interleave.
-		r.Sim.RunUntil(r.Sim.Now() + sim.Time(job.Elapsed()-job.advanced))
+		r.Backend.Clock().Advance(job.Elapsed() - job.advanced)
 		job.advanced = job.Elapsed()
 	}
 	return job.Finish(), nil
@@ -236,7 +292,7 @@ type Job struct {
 	done     bool
 	finished bool
 	// advanced tracks how much of Elapsed has been mirrored onto the
-	// shared virtual clock by the driver.
+	// shared clock by the driver.
 	advanced float64
 }
 
@@ -263,7 +319,7 @@ func (r *Runner) StartJob(cfg Config) (*Job, error) {
 func (j *Job) Done() bool { return j.done }
 
 // Elapsed returns the job's wall clock so far (its own timeline, not the
-// shared simulation clock).
+// shared substrate clock).
 func (j *Job) Elapsed() float64 { return j.st.clock }
 
 // Alloc returns the job's current allocation.
@@ -277,7 +333,10 @@ func (j *Job) Step() error {
 	}
 	j.epoch++
 	st, cfg := j.st, j.st.cfg
-	rep := j.r.runEpoch(st, j.epoch)
+	rep, err := j.r.runEpoch(st, j.epoch)
+	if err != nil {
+		return err
+	}
 	st.res.Trace = append(st.res.Trace, rep)
 	st.res.Epochs = j.epoch
 	st.res.FinalLoss = rep.Loss
@@ -333,7 +392,7 @@ func (r *Runner) RunEpochs(w *workload.Model, eng workload.Engine, a cost.Alloca
 // storage as well).
 func (r *Runner) startGroup(st *state, a cost.Allocation, initial bool) error {
 	w := st.cfg.Workload
-	invs, err := r.Platform.InvokeGroup(a.N, a.MemMB)
+	invs, err := r.Compute().InvokeGroup(a.N, a.MemMB)
 	if err != nil {
 		return fmt.Errorf("trainer: invoking %v: %w", a, err)
 	}
@@ -343,44 +402,47 @@ func (r *Runner) startGroup(st *state, a cost.Allocation, initial bool) error {
 			start = inv.StartDelay
 		}
 	}
-	if p := r.ensureProvisioned(a.Storage); p > start {
+	if p := r.acquireService(st, a.Storage); p > start {
 		start = p // storage provisioning overlaps the cold start
 	}
 	load := r.loadTime(w, a)
 	if !initial {
 		// A restarted group must also pull the checkpointed model.
-		load += r.services[a.Storage].TransferTime(a.N, w.ParamsMB)
-		r.restoreCheckpoint(st)
+		load += r.Service(a.Storage).TransferTime(a.N, w.ParamsMB)
+		if err := r.restoreCheckpoint(st); err != nil {
+			return err
+		}
 	}
 	st.clock += start + load
 	st.res.OverheadTime += start + load
 	if initial {
 		st.res.StartupTime = start + load
 	}
-	r.Platform.BillCompute(a.N, a.MemMB, load)
+	r.Compute().BillCompute(a.N, a.MemMB, load)
 	st.res.FunctionCost += float64(a.N) * r.Prices.ComputeOnlyCost(load, float64(a.MemMB))
 	st.res.InvokeCost += float64(a.N) * r.Prices.FunctionInvoke
-	st.res.StorageCost += storage.LoadCost(r.Prices, a.N)
+	st.res.StorageCost += r.Params().LoadCost(a.N)
 	st.res.TotalCost += float64(a.N)*r.Prices.ComputeOnlyCost(load, float64(a.MemMB)) +
-		float64(a.N)*r.Prices.FunctionInvoke + storage.LoadCost(r.Prices, a.N)
+		float64(a.N)*r.Prices.FunctionInvoke + r.Params().LoadCost(a.N)
 	return nil
 }
 
 func (r *Runner) loadTime(w *workload.Model, a cost.Allocation) float64 {
 	t := w.Dataset.PartitionSizeMB(a.N) / 80
 	if r.Noise.LoadJitter > 0 {
-		t *= r.Sim.Rand("trainer.load").Jitter(r.Noise.LoadJitter)
+		t *= r.Backend.Rand("trainer.load").Jitter(r.Noise.LoadJitter)
 	}
 	return t
 }
 
 // runEpoch executes one epoch under the current allocation: k iterations of
 // compute + sync with ground-truth noise, engine advance, billing, and the
-// takeover of a pending delayed switch.
-func (r *Runner) runEpoch(st *state, epoch int) EpochReport {
+// takeover of a pending delayed switch. On substrates that execute real work
+// it also drives one real synchronization barrier across the group.
+func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 	w := st.cfg.Workload
 	a := st.alloc
-	svc := r.services[a.Storage]
+	svc := r.Service(a.Storage)
 
 	var computeT, syncT float64
 	if st.cfg.Async {
@@ -398,17 +460,17 @@ func (r *Runner) runEpoch(st *state, epoch int) EpochReport {
 	// the last checkpoint, and the epoch retries. Without checkpointing a
 	// single crash throws the job back to the initial model.
 	if p := r.Noise.FailureRate; p > 0 && a.N > 0 {
-		rng := r.Sim.Rand("trainer.failure")
+		rng := r.Backend.Rand("trainer.failure")
 		groupP := 1 - math.Pow(1-p, float64(a.N))
 		for attempt := 0; attempt < 50 && rng.Float64() < groupP; attempt++ {
 			wasted := rng.Float64() * epochT
-			recover := r.Platform.ColdStartEstimate(a.MemMB) +
+			recover := r.Compute().ColdStartEstimate(a.MemMB) +
 				svc.TransferTime(a.N, w.ParamsMB)
 			st.clock += wasted + recover
 			st.res.OverheadTime += wasted + recover
 			st.res.FailureTime += wasted + recover
 			st.res.Failures++
-			r.Platform.BillCompute(a.N, a.MemMB, wasted)
+			r.Compute().BillCompute(a.N, a.MemMB, wasted)
 			spent := float64(a.N) * r.Prices.ComputeOnlyCost(wasted, float64(a.MemMB))
 			st.res.FunctionCost += spent
 			st.res.TotalCost += spent
@@ -437,9 +499,9 @@ func (r *Runner) runEpoch(st *state, epoch int) EpochReport {
 
 	// Billing: n functions ran the epoch; storage billed per its pattern.
 	funcCost := float64(a.N) * r.Prices.ComputeOnlyCost(epochT, float64(a.MemMB))
-	r.Platform.BillCompute(a.N, a.MemMB, epochT)
+	r.Compute().BillCompute(a.N, a.MemMB, epochT)
 	var stoCost float64
-	if svc.ChargeModel() == storage.ByRequest {
+	if svc.ChargesByRequest() {
 		stoCost = float64(w.IterationsPerEpoch(a.N)) * svc.SyncRequestCost(a.N, w.ParamsMB)
 	} else {
 		stoCost = svc.RuntimeCost(epochT)
@@ -459,7 +521,17 @@ func (r *Runner) runEpoch(st *state, epoch int) EpochReport {
 
 	// Checkpoint the model state through storage at the epoch boundary
 	// (this is the state a restarted group resumes from).
-	r.checkpoint(st)
+	if err := r.checkpoint(st); err != nil {
+		return rep, err
+	}
+
+	// Substrates that execute real work run the epoch's synchronization
+	// barrier here, across the group currently serving the allocation.
+	if gr, ok := r.Backend.(platform.GroupRunner); ok {
+		if err := gr.RunEpoch(a.N, a.MemMB, a.Storage); err != nil {
+			return rep, fmt.Errorf("trainer: epoch %d barrier: %w", epoch, err)
+		}
+	}
 
 	// A pending delayed switch takes over here: the new group has been
 	// starting up while this epoch ran; any residual startup time not
@@ -471,15 +543,15 @@ func (r *Runner) runEpoch(st *state, epoch int) EpochReport {
 			st.res.OverheadTime += residual
 		}
 		// Old group is released; new group pulls the model directly.
-		r.Platform.ReleaseGroup(a.N, a.MemMB, 0)
-		handoff := r.services[st.pendingSwitch.Storage].TransferTime(st.pendingSwitch.N, w.ParamsMB)
+		r.Compute().ReleaseGroup(a.N, a.MemMB, 0)
+		handoff := r.Service(st.pendingSwitch.Storage).TransferTime(st.pendingSwitch.N, w.ParamsMB)
 		st.clock += handoff
 		st.res.OverheadTime += handoff
 		st.alloc = *st.pendingSwitch
 		st.pendingSwitch = nil
 		st.res.Restarts++
 	}
-	return rep
+	return rep, nil
 }
 
 // groundTruthCompute is the epoch's gradient computation wall time: the
@@ -489,7 +561,7 @@ func (r *Runner) groundTruthCompute(w *workload.Model, a cost.Allocation) float6
 	if r.Noise.StragglerSigma == 0 {
 		return base
 	}
-	rng := r.Sim.Rand("trainer.straggler")
+	rng := r.Backend.Rand("trainer.straggler")
 	worst := 0.0
 	for i := 0; i < a.N; i++ {
 		if f := rng.LogNormal(0, r.Noise.StragglerSigma); f > worst {
@@ -501,13 +573,13 @@ func (r *Runner) groundTruthCompute(w *workload.Model, a cost.Allocation) float6
 
 // groundTruthSync is the epoch's synchronization wall time with network
 // instability that grows with n.
-func (r *Runner) groundTruthSync(w *workload.Model, a cost.Allocation, svc *storage.Service) float64 {
+func (r *Runner) groundTruthSync(w *workload.Model, a cost.Allocation, svc platform.StorageService) float64 {
 	base := float64(w.IterationsPerEpoch(a.N)) * svc.SyncTime(a.N, w.ParamsMB)
 	sigma := r.Noise.SyncBase + r.Noise.SyncPerN*float64(a.N)
 	if sigma == 0 {
 		return base
 	}
-	return base * r.Sim.Rand("trainer.sync").LogNormal(0, sigma)
+	return base * r.Backend.Rand("trainer.sync").LogNormal(0, sigma)
 }
 
 // asyncCompute is the epoch's gradient computation wall time under ASP:
@@ -517,19 +589,19 @@ func (r *Runner) asyncCompute(w *workload.Model, a cost.Allocation) float64 {
 	if r.Noise.StragglerSigma == 0 {
 		return base
 	}
-	return base * r.Sim.Rand("trainer.straggler").LogNormal(0, r.Noise.StragglerSigma)
+	return base * r.Backend.Rand("trainer.straggler").LogNormal(0, r.Noise.StragglerSigma)
 }
 
 // asyncSync is the epoch's synchronization wall time under ASP: each worker
 // pushes its gradient and pulls the model (two transfers) per iteration,
 // overlapped across workers rather than serialized.
-func (r *Runner) asyncSync(w *workload.Model, a cost.Allocation, svc *storage.Service) float64 {
+func (r *Runner) asyncSync(w *workload.Model, a cost.Allocation, svc platform.StorageService) float64 {
 	base := float64(w.IterationsPerEpoch(a.N)) * 2 * svc.TransferTime(a.N, w.ParamsMB)
 	sigma := r.Noise.SyncBase + r.Noise.SyncPerN*float64(a.N)
 	if sigma == 0 {
 		return base
 	}
-	return base * r.Sim.Rand("trainer.sync").LogNormal(0, sigma)
+	return base * r.Backend.Rand("trainer.sync").LogNormal(0, sigma)
 }
 
 // asyncEfficiency is the statistical progress one ASP wall epoch delivers
@@ -548,7 +620,7 @@ func asyncEfficiency(n int) float64 {
 func (r *Runner) applySwitch(st *state, next cost.Allocation, delayed bool) error {
 	w := st.cfg.Workload
 	if delayed {
-		invs, err := r.Platform.InvokeGroup(next.N, next.MemMB)
+		invs, err := r.Compute().InvokeGroup(next.N, next.MemMB)
 		if err != nil {
 			return fmt.Errorf("trainer: delayed switch to %v: %w", next, err)
 		}
@@ -558,7 +630,7 @@ func (r *Runner) applySwitch(st *state, next cost.Allocation, delayed bool) erro
 				start = inv.StartDelay
 			}
 		}
-		if p := r.ensureProvisioned(next.Storage); p > start {
+		if p := r.acquireService(st, next.Storage); p > start {
 			start = p // a new storage service provisions during the overlap
 		}
 		load := r.loadTime(w, next)
@@ -566,18 +638,18 @@ func (r *Runner) applySwitch(st *state, next cost.Allocation, delayed bool) erro
 		st.pendingReady = st.clock + start + load
 		// The new group bills its load immediately; it runs concurrently
 		// with the old group's next epoch.
-		r.Platform.BillCompute(next.N, next.MemMB, load)
+		r.Compute().BillCompute(next.N, next.MemMB, load)
 		spent := float64(next.N)*r.Prices.ComputeOnlyCost(load, float64(next.MemMB)) +
-			float64(next.N)*r.Prices.FunctionInvoke + storage.LoadCost(r.Prices, next.N)
+			float64(next.N)*r.Prices.FunctionInvoke + r.Params().LoadCost(next.N)
 		st.res.FunctionCost += float64(next.N) * r.Prices.ComputeOnlyCost(load, float64(next.MemMB))
 		st.res.InvokeCost += float64(next.N) * r.Prices.FunctionInvoke
-		st.res.StorageCost += storage.LoadCost(r.Prices, next.N)
+		st.res.StorageCost += r.Params().LoadCost(next.N)
 		st.res.TotalCost += spent
 		return nil
 	}
 	// Immediate restart: release the old group, start the new one with the
 	// full startup + reload + model pull on the critical path.
-	r.Platform.ReleaseGroup(st.alloc.N, st.alloc.MemMB, 0)
+	r.Compute().ReleaseGroup(st.alloc.N, st.alloc.MemMB, 0)
 	old := st.alloc
 	st.alloc = next
 	if err := r.startGroup(st, next, false); err != nil {
@@ -589,38 +661,48 @@ func (r *Runner) applySwitch(st *state, next cost.Allocation, delayed bool) erro
 }
 
 // checkpoint writes the engine state to the storage substrate.
-func (r *Runner) checkpoint(st *state) {
+func (r *Runner) checkpoint(st *state) error {
 	if st.cfg.DisableCheckpoint {
-		return
+		return nil
 	}
 	if snap, ok := st.cfg.Engine.(workload.Snapshotter); ok {
-		r.Store.Put(checkpointKey, snap.Snapshot())
+		if err := r.Params().Put(checkpointKey, snap.Snapshot()); err != nil {
+			return fmt.Errorf("trainer: checkpoint: %w", err)
+		}
 	}
+	return nil
 }
 
 // restoreCheckpoint pulls the engine state back after a restart.
-func (r *Runner) restoreCheckpoint(st *state) {
+func (r *Runner) restoreCheckpoint(st *state) error {
 	snap, ok := st.cfg.Engine.(workload.Snapshotter)
 	if !ok {
-		return
+		return nil
 	}
-	if state, found := r.Store.Get(checkpointKey); found {
+	state, found, err := r.Params().Get(checkpointKey)
+	if err != nil {
+		return fmt.Errorf("trainer: reading checkpoint: %w", err)
+	}
+	if found {
 		// Restore errors are impossible for states we wrote ourselves.
 		if err := snap.Restore(state); err != nil {
 			panic(fmt.Sprintf("trainer: corrupt checkpoint: %v", err))
 		}
 	}
+	return nil
 }
 
 const checkpointKey = "model/checkpoint"
 
-// finishJob releases the final group and any pending delayed group.
+// finishJob releases the final group, any pending delayed group, and the
+// job's storage-service leases (stopping their hourly meters).
 func (r *Runner) finishJob(st *state) {
-	r.Platform.ReleaseGroup(st.alloc.N, st.alloc.MemMB, 0)
+	r.Compute().ReleaseGroup(st.alloc.N, st.alloc.MemMB, 0)
 	if st.pendingSwitch != nil {
-		r.Platform.ReleaseGroup(st.pendingSwitch.N, st.pendingSwitch.MemMB, 0)
+		r.Compute().ReleaseGroup(st.pendingSwitch.N, st.pendingSwitch.MemMB, 0)
 		st.pendingSwitch = nil
 	}
+	r.releaseServices(st)
 	if math.IsNaN(st.clock) {
 		panic("trainer: job clock is NaN")
 	}

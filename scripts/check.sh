@@ -1,0 +1,33 @@
+#!/bin/sh
+# Full gate: formatting, vet, build, tests, and the race detector on every
+# package that runs real goroutine concurrency. Same steps as `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (live substrate)"
+go test -race \
+	./internal/distml/... \
+	./internal/psnet/... \
+	./internal/objstore/... \
+	./internal/lambda/... \
+	./internal/platform/livebackend/...
+
+echo "OK"
