@@ -24,6 +24,8 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -run 'TestCells|TestRunAll|Memo|Concurrent' \
+		./internal/experiments/ ./internal/cost/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...

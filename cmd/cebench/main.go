@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	cebench [-seed N] <experiment-id>... | all | list
+//	cebench [-seed N] [-parallel P] <experiment-id>... | all | list
 //
 // Experiment ids follow the paper's numbering: fig3, fig4, fig7, fig9,
 // fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17, fig18, fig19,
 // fig20, fig21a, fig21b, fig21c, tab1, tab2, tab4.
+//
+// Artifacts run on a bounded worker pool (-parallel, default GOMAXPROCS)
+// and print in request order; every experiment derives all randomness from
+// -seed, so the tables on stdout are byte-identical at any parallelism.
+// Wall-clock diagnostics (per-artifact and total) go to stderr in every
+// format, keeping stdout deterministic.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -23,8 +30,9 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 2023, "deterministic experiment seed")
 	format := flag.String("format", "text", "output format: text | json | csv | html")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size across and within artifacts (1 = fully serial)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv] <experiment-id>... | all | list\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv|html] [-parallel P] <experiment-id>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
 			fmt.Fprintf(os.Stderr, "  %s\n", id)
 		}
@@ -43,28 +51,34 @@ func main() {
 		return
 	}
 	ids := args
-	if args[0] == "all" {
+	all := args[0] == "all"
+	if all {
 		ids = experiments.IDs()
 	}
+
+	experiments.SetParallelism(*parallel)
+	start := time.Now()
+	outcomes := experiments.RunAll(ids, *seed)
+	total := time.Since(start)
+
 	exit := 0
 	var collected []*experiments.Table
-	for _, id := range ids {
-		start := time.Now()
-		tab, err := experiments.Run(id, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cebench: %s: %v\n", id, err)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: %s: %v\n", o.ID, o.Err)
 			exit = 1
 			continue
 		}
+		fmt.Fprintf(os.Stderr, "cebench: %s in %s\n", o.ID, o.Elapsed.Round(time.Millisecond))
 		switch *format {
 		case "json", "html":
-			collected = append(collected, tab)
+			collected = append(collected, o.Table)
 		case "csv":
-			fmt.Print(tab.CSV())
+			fmt.Print(o.Table.CSV())
 			fmt.Println()
 		default:
-			fmt.Print(tab.String())
-			fmt.Printf("(generated in %s)\n\n", time.Since(start).Round(time.Millisecond))
+			fmt.Print(o.Table.String())
+			fmt.Println()
 		}
 	}
 	switch {
@@ -77,6 +91,10 @@ func main() {
 		}
 	case *format == "html" && len(collected) > 0:
 		fmt.Print(experiments.HTMLReport(collected))
+	}
+	if all {
+		fmt.Fprintf(os.Stderr, "cebench: %d artifacts in %s (parallel=%d)\n",
+			len(ids), total.Round(time.Millisecond), experiments.Parallelism())
 	}
 	os.Exit(exit)
 }

@@ -33,6 +33,13 @@ func (a Allocation) String() string {
 // Model is the analytic estimator for one workload. It is what the
 // scheduler *believes*; the simulator in internal/trainer is the ground
 // truth the estimates are validated against (Fig. 19-20).
+//
+// Per-allocation epoch estimates and per-grid Pareto sets are memoized: the
+// adaptive scheduler (Algorithm 2) re-derives them on every δ-triggered
+// recompute and the planner probes the same allocations thousands of times.
+// The caches assume the model is configured once and then treated as
+// immutable: mutate LoadMBps / StragglerSigma only before the first
+// estimate call. The caches are safe for concurrent readers.
 type Model struct {
 	Workload *workload.Model
 	Prices   pricing.PriceBook
@@ -50,6 +57,30 @@ type Model struct {
 	StragglerSigma float64
 
 	services map[storage.Kind]*storage.Service
+
+	epochMemo  sync.Map // Allocation -> epochEst
+	paretoMemo sync.Map // grid signature string -> []Point (never mutated)
+}
+
+// epochEst is the memoized per-epoch (t'(θ), c'(θ)) pair. Time and cost are
+// cached together because every consumer of one is about to ask for the
+// other (the cost depends on the epoch time for runtime-charged storage).
+type epochEst struct {
+	time float64
+	cost float64
+}
+
+// epochEstimates returns the memoized estimates for θ, computing them once.
+// Concurrent first calls may both compute; the arithmetic is deterministic,
+// so whichever Store wins holds the same value.
+func (m *Model) epochEstimates(a Allocation) epochEst {
+	if v, ok := m.epochMemo.Load(a); ok {
+		return v.(epochEst)
+	}
+	t := m.ComputeTime(a) + m.SyncTime(a)
+	e := epochEst{time: t, cost: m.functionEpochCost(a, t) + m.storageEpochCost(a, t)}
+	m.epochMemo.Store(a, e)
+	return e
 }
 
 // NewModel returns an analytic model for w under default prices and limits.
@@ -127,29 +158,37 @@ func (m *Model) SyncTime(a Allocation) float64 {
 // EpochTime returns t'(θ) for a steady-state epoch (compute + sync; the
 // one-time load and startup are accounted by JobTime).
 func (m *Model) EpochTime(a Allocation) float64 {
-	return m.ComputeTime(a) + m.SyncTime(a)
+	return m.epochEstimates(a).time
 }
 
 // FunctionEpochCost returns the per-epoch compute bill: n functions each
 // running the epoch duration at p_f(m) (Eq. 4 second term).
 func (m *Model) FunctionEpochCost(a Allocation) float64 {
-	return float64(a.N) * m.Prices.ComputeOnlyCost(m.EpochTime(a), float64(a.MemMB))
+	return m.functionEpochCost(a, m.EpochTime(a))
+}
+
+func (m *Model) functionEpochCost(a Allocation, epochTime float64) float64 {
+	return float64(a.N) * m.Prices.ComputeOnlyCost(epochTime, float64(a.MemMB))
 }
 
 // StorageEpochCost returns c^s per epoch (Eq. 5): request charges for the
 // k synchronizations (request-charged services) or the epoch's runtime
 // share (runtime-charged services).
 func (m *Model) StorageEpochCost(a Allocation) float64 {
+	return m.storageEpochCost(a, m.EpochTime(a))
+}
+
+func (m *Model) storageEpochCost(a Allocation, epochTime float64) float64 {
 	svc := m.services[a.Storage]
 	if svc.ChargeModel() == storage.ByRequest {
 		return float64(m.Iterations(a)) * svc.SyncRequestCost(a.N, m.Workload.ParamsMB)
 	}
-	return svc.RuntimeCost(m.EpochTime(a))
+	return svc.RuntimeCost(epochTime)
 }
 
 // EpochCost returns c'(θ): the full per-epoch bill.
 func (m *Model) EpochCost(a Allocation) float64 {
-	return m.FunctionEpochCost(a) + m.StorageEpochCost(a)
+	return m.epochEstimates(a).cost
 }
 
 // InvocationCost returns the one-time n*p_ivk charge for invoking the
@@ -288,7 +327,8 @@ func enumerateRange(m *Model, g Grid, at func(int) Allocation, slots []Point, fe
 		if !m.Feasible(a) {
 			continue
 		}
-		slots[idx] = Point{Alloc: a, Time: m.EpochTime(a), Cost: m.EpochCost(a)}
+		est := m.epochEstimates(a)
+		slots[idx] = Point{Alloc: a, Time: est.time, Cost: est.cost}
 		feasible[idx] = true
 	}
 }
@@ -339,9 +379,23 @@ func Pareto(points []Point) []Point {
 }
 
 // ParetoSet enumerates the grid and returns its Pareto boundary — the 𝒫 of
-// Table III that every optimization searches instead of the full Θ.
+// Table III that every optimization searches instead of the full Θ. The
+// boundary is memoized per grid; the caller receives a fresh copy it may
+// mutate freely.
 func (m *Model) ParetoSet(g Grid) []Point {
-	return Pareto(m.Enumerate(g))
+	key := gridKey(g)
+	if v, ok := m.paretoMemo.Load(key); ok {
+		return append([]Point(nil), v.([]Point)...)
+	}
+	front := Pareto(m.Enumerate(g))
+	m.paretoMemo.Store(key, front)
+	return append([]Point(nil), front...)
+}
+
+// gridKey is a canonical signature of a grid, used as the ParetoSet cache
+// key. Grids that differ only in slice identity hash the same.
+func gridKey(g Grid) string {
+	return fmt.Sprintf("%v|%v|%v", g.Ns, g.MemsMB, g.Storages)
 }
 
 // Dominates reports whether p strictly dominates q (better or equal in both

@@ -51,8 +51,9 @@ func TestEpochTimeComponents(t *testing.T) {
 	if got := m.ComputeTime(a); math.Abs(got-wantCompute) > 1e-9 {
 		t.Errorf("ComputeTime = %g, want %g", got, wantCompute)
 	}
-	// Disabling the correction recovers the bare Eq. 2 term.
-	noStrag := *m
+	// Disabling the correction recovers the bare Eq. 2 term. (A fresh model:
+	// Model embeds its memoization caches and must not be copied.)
+	noStrag := lrModel()
 	noStrag.StragglerSigma = 0
 	if got, want := noStrag.ComputeTime(a), m.Workload.Dataset.SizeMB/10*m.Workload.UBase; math.Abs(got-want) > 1e-9 {
 		t.Errorf("bare ComputeTime = %g, want %g", got, want)

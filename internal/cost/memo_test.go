@@ -1,0 +1,157 @@
+package cost
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// uncachedEpochTime recomputes t'(θ) from the component models, bypassing
+// the memo entirely.
+func uncachedEpochTime(m *Model, a Allocation) float64 {
+	return m.ComputeTime(a) + m.SyncTime(a)
+}
+
+// uncachedEpochCost recomputes c'(θ) from the component models.
+func uncachedEpochCost(m *Model, a Allocation) float64 {
+	t := uncachedEpochTime(m, a)
+	return m.functionEpochCost(a, t) + m.storageEpochCost(a, t)
+}
+
+// TestEpochMemoCoherent asserts the memoized estimates are bit-identical to
+// an uncached recomputation for every feasible point of the default grid —
+// cached and cold paths must produce the same float arithmetic.
+func TestEpochMemoCoherent(t *testing.T) {
+	for _, w := range workload.Evaluated() {
+		m := NewModel(w)
+		g := DefaultGrid()
+		for _, n := range g.Ns {
+			for _, mem := range g.MemsMB {
+				for _, s := range g.Storages {
+					a := Allocation{N: n, MemMB: mem, Storage: s}
+					if !m.Feasible(a) {
+						continue
+					}
+					wantT, wantC := uncachedEpochTime(m, a), uncachedEpochCost(m, a)
+					// Ask twice: first call populates the memo, second hits it.
+					for pass := 0; pass < 2; pass++ {
+						if got := m.EpochTime(a); got != wantT {
+							t.Fatalf("%s %v pass %d: EpochTime = %v, uncached %v", w.Name, a, pass, got, wantT)
+						}
+						if got := m.EpochCost(a); got != wantC {
+							t.Fatalf("%s %v pass %d: EpochCost = %v, uncached %v", w.Name, a, pass, got, wantC)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParetoSetMemoized asserts repeated ParetoSet calls return equal
+// boundaries and that the returned slice is a private copy (mutating it must
+// not poison the cache).
+func TestParetoSetMemoized(t *testing.T) {
+	m := NewModel(workload.MobileNet())
+	g := DefaultGrid()
+	first := m.ParetoSet(g)
+	if len(first) == 0 {
+		t.Fatal("empty Pareto set")
+	}
+	// Sabotage the caller's copy.
+	for i := range first {
+		first[i].Time = math.NaN()
+		first[i].Cost = -1
+	}
+	second := m.ParetoSet(g)
+	want := Pareto(m.Enumerate(g))
+	if len(second) != len(want) {
+		t.Fatalf("cached ParetoSet has %d points, recomputed %d", len(second), len(want))
+	}
+	for i := range second {
+		if second[i] != want[i] {
+			t.Fatalf("cached ParetoSet[%d] = %+v, recomputed %+v (cache poisoned by caller mutation?)", i, second[i], want[i])
+		}
+	}
+}
+
+// TestEpochMemoConcurrent hammers the memo from many goroutines on a cold
+// model; run under -race this is the cache's thread-safety gate.
+func TestEpochMemoConcurrent(t *testing.T) {
+	m := NewModel(workload.ResNet50())
+	g := DefaultGrid()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, n := range g.Ns {
+				for _, mem := range g.MemsMB {
+					a := Allocation{N: n, MemMB: mem, Storage: g.Storages[n%len(g.Storages)]}
+					if !m.Feasible(a) {
+						continue
+					}
+					if got, want := m.EpochTime(a), uncachedEpochTime(m, a); got != want {
+						select {
+						case errs <- a.String():
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if bad, ok := <-errs; ok {
+		t.Fatalf("concurrent EpochTime diverged from uncached at %s", bad)
+	}
+}
+
+// BenchmarkEpochEstimatesCold measures the uncached estimate path (memo
+// bypassed), the per-point price before this PR.
+func BenchmarkEpochEstimatesCold(b *testing.B) {
+	m := NewModel(workload.MobileNet())
+	a := Allocation{N: 50, MemMB: 3072, Storage: DefaultGrid().Storages[0]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if uncachedEpochTime(m, a)+uncachedEpochCost(m, a) <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+// BenchmarkEpochEstimatesCached measures a memo hit: what the planner pays
+// per candidate probe after the first evaluation of an allocation.
+func BenchmarkEpochEstimatesCached(b *testing.B) {
+	m := NewModel(workload.MobileNet())
+	a := Allocation{N: 50, MemMB: 3072, Storage: DefaultGrid().Storages[0]}
+	m.EpochTime(a) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.EpochTime(a)+m.EpochCost(a) <= 0 {
+			b.Fatal("bad estimate")
+		}
+	}
+}
+
+// BenchmarkParetoSetCached measures a warm ParetoSet call (one defensive
+// copy instead of a full grid enumeration + sort).
+func BenchmarkParetoSetCached(b *testing.B) {
+	m := NewModel(workload.MobileNet())
+	g := DefaultGrid()
+	m.ParetoSet(g) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if front := m.ParetoSet(g); len(front) == 0 {
+			b.Fatal("no front")
+		}
+	}
+}

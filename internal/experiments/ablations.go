@@ -35,7 +35,11 @@ func ablGap(seed uint64) (*Table, error) {
 		Headers: []string{"model", "budget mult", "static JCT", "greedy JCT", "exact JCT", "greedy gap", "greedy evals", "exact states"},
 		Notes:   "exact = budget-discretized DP (4000 buckets) over (stage, budget, prev-memory); gap = (greedy-exact)/exact; the DP is orders of magnitude more work than the greedy's candidate evaluations",
 	}
-	for _, w := range workload.Evaluated() {
+	models := workload.Evaluated()
+	blocks, err := cells(len(models), func(i int) ([][]string, error) {
+		// The two budget multiples share this model's planner (its Evaluated
+		// counter is the reported metric), so they stay serial inside the cell.
+		w := models[i]
 		fw := core.New(w)
 		stages := planner.SHAStages(256, 2, 2)
 		pl, err := planner.New(fw.Model, stages, fw.Pareto)
@@ -43,6 +47,7 @@ func ablGap(seed uint64) (*Table, error) {
 			return nil, err
 		}
 		cheapest := pl.OptimalStatic(0, 1e15)
+		var rows [][]string
 		for _, mult := range []float64{1.2, 1.5} {
 			budget := cheapest.Cost * mult
 			static := pl.OptimalStatic(budget, 0)
@@ -54,7 +59,7 @@ func ablGap(seed uint64) (*Table, error) {
 				return nil, fmt.Errorf("abl-gap: %s: exact solver found no plan", w.Name)
 			}
 			gap := (greedy.JCT - exact.JCT) / exact.JCT
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				w.Name, fmt.Sprintf("%.1fx", mult),
 				seconds(static.JCT), seconds(greedy.JCT), seconds(exact.JCT),
 				pct(gap),
@@ -62,6 +67,13 @@ func ablGap(seed uint64) (*Table, error) {
 				fmt.Sprintf("%d", 4000*len(stages)*len(fw.Pareto)),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	_ = seed
 	return t, nil
@@ -76,7 +88,9 @@ func ablWorkflow(seed uint64) (*Table, error) {
 		Headers: []string{"model", "budget", "tune JCT", "tune cost", "winner lr", "train JCT", "train cost", "total", "within budget"},
 		Notes:   "64 trials, tuning reserved 60% of the budget; the training phase runs the tuning winner's hyperparameters to the target loss",
 	}
-	for _, w := range []*workload.Model{workload.MobileNet(), workload.ResNet50()} {
+	models := []*workload.Model{workload.MobileNet(), workload.ResNet50()}
+	rows, err := cells(len(models), func(i int) ([]string, error) {
+		w := models[i]
 		fw := core.New(w)
 		// Size the budget from the tuning static reference plus training
 		// probe, like the per-phase experiments do.
@@ -92,15 +106,19 @@ func ablWorkflow(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("abl-workflow: %s: %w", w.Name, err)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			w.Name, dollars(budget),
 			seconds(out.Tune.Run.JCT), dollars(out.Tune.Run.TotalCost),
 			fmt.Sprintf("%.5f", out.BestHyperparams.LR),
 			seconds(out.Train.Result.JCT), dollars(out.Train.Result.TotalCost),
 			dollars(out.TotalCost),
 			fmt.Sprintf("%v", out.WithinConstraint),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -123,31 +141,36 @@ func ablASP(seed uint64) (*Table, error) {
 		{workload.MobileNet(), cost.Allocation{N: 50, MemMB: 1769, Storage: storage.S3}},
 		{workload.LRHiggs(), cost.Allocation{N: 50, MemMB: 1769, Storage: storage.S3}},
 	}
-	for _, c := range cases {
-		for _, async := range []bool{false, true} {
-			mode := "BSP"
-			if async {
-				mode = "ASP"
-			}
-			r := trainer.NewRunner(seed + 17)
-			res, err := r.Run(trainer.Config{
-				Workload:   c.w,
-				Engine:     c.w.NewEngine(workload.Hyperparams{LR: c.w.DefaultLR}, seed),
-				Alloc:      c.a,
-				TargetLoss: c.w.TargetLoss,
-				MaxEpochs:  2000,
-				Async:      async,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				c.w.Name, c.a.String(), mode,
-				fmt.Sprintf("%d", res.Epochs), seconds(res.JCT), dollars(res.TotalCost),
-				fmt.Sprintf("%v", res.Converged),
-			})
+	// Flatten the case x mode matrix into independent cells.
+	rows, err := cells(2*len(cases), func(i int) ([]string, error) {
+		c := cases[i/2]
+		async := i%2 == 1
+		mode := "BSP"
+		if async {
+			mode = "ASP"
 		}
+		r := trainer.NewRunner(seed + 17)
+		res, err := r.Run(trainer.Config{
+			Workload:   c.w,
+			Engine:     c.w.NewEngine(workload.Hyperparams{LR: c.w.DefaultLR}, seed),
+			Alloc:      c.a,
+			TargetLoss: c.w.TargetLoss,
+			MaxEpochs:  2000,
+			Async:      async,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			c.w.Name, c.a.String(), mode,
+			fmt.Sprintf("%d", res.Epochs), seconds(res.JCT), dollars(res.TotalCost),
+			fmt.Sprintf("%v", res.Converged),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -163,7 +186,12 @@ func ablHyperband(seed uint64) (*Table, error) {
 		Headers: []string{"planner", "best loss", "JCT", "cost", "brackets"},
 		Notes:   "each Hyperband bracket's stage structure feeds the same greedy heuristic planner used for SHA; budget per bracket = 1.3x its cheapest static plan",
 	}
-	run := func(name string, usePlanner bool) error {
+	variants := []struct {
+		name       string
+		usePlanner bool
+	}{{"CE-scaling", true}, {"static", false}}
+	rows, err := cells(len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		res, err := sha.RunHyperband(sha.HyperbandConfig{
 			Workload:  w,
 			MaxEpochs: 9,
@@ -176,27 +204,24 @@ func ablHyperband(seed uint64) (*Table, error) {
 					return planner.Plan{}, err
 				}
 				static := pl.OptimalStatic(0, 1e15)
-				if !usePlanner {
+				if !v.usePlanner {
 					return static.Plan, nil
 				}
 				return pl.PlanMinJCT(static.Cost * 1.3).Plan, nil
 			},
 		})
 		if err != nil {
-			return err
+			return nil, cellErr(v.name, err)
 		}
-		t.Rows = append(t.Rows, []string{
-			name, f4(res.Best.Loss), seconds(res.JCT), dollars(res.TotalCost),
+		return []string{
+			v.name, f4(res.Best.Loss), seconds(res.JCT), dollars(res.TotalCost),
 			fmt.Sprintf("%d", len(res.Brackets)),
-		})
-		return nil
-	}
-	if err := run("CE-scaling", true); err != nil {
+		}, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run("static", false); err != nil {
-		return nil, err
-	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -210,42 +235,47 @@ func ablPocket(seed uint64) (*Table, error) {
 		Headers: []string{"model", "services", "frontier size", "chosen storage", "JCT", "cost"},
 		Notes:   "Pocket: auto-scaling, in-memory latency, request-charged at 5x S3 — a middle ground between S3 and ElastiCache; budget = geometric mean of the cheap and fast probes",
 	}
-	for _, w := range []*workload.Model{workload.MobileNet(), workload.BERT()} {
-		for _, extended := range []bool{false, true} {
-			grid := cost.DefaultGrid()
-			label := "paper's four"
-			if extended {
-				grid.Storages = storage.ExtendedKinds()
-				label = "four + Pocket"
-			}
-			fw := core.NewWithGrid(w, grid)
-			probe, err := trainRef(fw, seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := runCE(fw, core.Options{Budget: probe.budgetRef(), Seed: seed}, seed)
-			if err != nil {
-				return nil, err
-			}
-			// Report the storage the job spent most epochs on.
-			counts := map[storage.Kind]int{}
-			for _, e := range res.Trace {
-				counts[e.Alloc.Storage]++
-			}
-			var chosen storage.Kind
-			best := -1
-			for k, c := range counts {
-				if c > best {
-					best, chosen = c, k
-				}
-			}
-			t.Rows = append(t.Rows, []string{
-				w.Name, label,
-				fmt.Sprintf("%d", len(fw.Pareto)),
-				chosen.String(), seconds(res.JCT), dollars(res.TotalCost),
-			})
+	models := []*workload.Model{workload.MobileNet(), workload.BERT()}
+	rows, err := cells(2*len(models), func(i int) ([]string, error) {
+		w := models[i/2]
+		extended := i%2 == 1
+		grid := cost.DefaultGrid()
+		label := "paper's four"
+		if extended {
+			grid.Storages = storage.ExtendedKinds()
+			label = "four + Pocket"
 		}
+		fw := core.NewWithGrid(w, grid)
+		probe, err := trainRef(fw, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runCE(fw, core.Options{Budget: probe.budgetRef(), Seed: seed}, seed)
+		if err != nil {
+			return nil, err
+		}
+		// Report the storage the job spent most epochs on.
+		counts := map[storage.Kind]int{}
+		for _, e := range res.Trace {
+			counts[e.Alloc.Storage]++
+		}
+		var chosen storage.Kind
+		best := -1
+		for k, c := range counts {
+			if c > best {
+				best, chosen = c, k
+			}
+		}
+		return []string{
+			w.Name, label,
+			fmt.Sprintf("%d", len(fw.Pareto)),
+			chosen.String(), seconds(res.JCT), dollars(res.TotalCost),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -261,32 +291,45 @@ func ablFaults(seed uint64) (*Table, error) {
 		Notes:   "failure rate is per function per epoch; a crash aborts the BSP epoch; checkpointed jobs retry the epoch, uncheckpointed jobs restart from the initial model",
 	}
 	alloc := cost.Allocation{N: 10, MemMB: 1769, Storage: storage.S3}
+	type faultCase struct {
+		rate       float64
+		checkpoint bool
+	}
+	var combos []faultCase
 	for _, rate := range []float64{0, 0.005, 0.01, 0.02} {
 		for _, checkpoint := range []bool{true, false} {
 			if rate == 0 && !checkpoint {
 				continue // identical to the checkpointed row
 			}
-			r := trainer.NewRunner(seed + 53)
-			r.Noise.FailureRate = rate
-			res, err := r.Run(trainer.Config{
-				Workload:          w,
-				Engine:            w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
-				Alloc:             alloc,
-				TargetLoss:        w.TargetLoss,
-				MaxEpochs:         400,
-				DisableCheckpoint: !checkpoint,
-			})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				pct(rate), fmt.Sprintf("%v", checkpoint),
-				fmt.Sprintf("%d", res.Failures), fmt.Sprintf("%d", res.Epochs),
-				seconds(res.JCT), seconds(res.FailureTime), dollars(res.TotalCost),
-				fmt.Sprintf("%v", res.Converged),
-			})
+			combos = append(combos, faultCase{rate, checkpoint})
 		}
 	}
+	rows, err := cells(len(combos), func(i int) ([]string, error) {
+		c := combos[i]
+		r := trainer.NewRunner(seed + 53)
+		r.Noise.FailureRate = c.rate
+		res, err := r.Run(trainer.Config{
+			Workload:          w,
+			Engine:            w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
+			Alloc:             alloc,
+			TargetLoss:        w.TargetLoss,
+			MaxEpochs:         400,
+			DisableCheckpoint: !c.checkpoint,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return []string{
+			pct(c.rate), fmt.Sprintf("%v", c.checkpoint),
+			fmt.Sprintf("%d", res.Failures), fmt.Sprintf("%d", res.Epochs),
+			seconds(res.JCT), seconds(res.FailureTime), dollars(res.TotalCost),
+			fmt.Sprintf("%v", res.Converged),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -310,31 +353,40 @@ func ablBOHB(seed uint64) (*Table, error) {
 		static := pl.OptimalStatic(0, 1e15)
 		return pl.PlanMinJCT(static.Cost * 1.3).Plan, nil
 	}
-	hb, err := sha.RunHyperband(sha.HyperbandConfig{
-		Workload: w, MaxEpochs: 9, Eta: 3,
-		Runner: trainer.NewRunner(seed + 61), Seed: seed,
-		PlanBracket: planBracket,
-	})
-	if err != nil {
-		return nil, err
-	}
-	bohb, _, err := sha.RunBOHB(sha.HyperbandConfig{
-		Workload: w, MaxEpochs: 9, Eta: 3,
-		Runner: trainer.NewRunner(seed + 61), Seed: seed,
-		PlanBracket: planBracket,
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, row := range []struct {
+	tuners := []struct {
 		name string
-		r    *sha.HyperbandResult
-	}{{"Hyperband", hb}, {"BOHB", bohb}} {
-		t.Rows = append(t.Rows, []string{
-			row.name, f4(row.r.Best.Loss), fmt.Sprintf("%.5f", row.r.Best.HP.LR),
-			seconds(row.r.JCT), dollars(row.r.TotalCost),
-		})
+		run  func() (*sha.HyperbandResult, error)
+	}{
+		{"Hyperband", func() (*sha.HyperbandResult, error) {
+			return sha.RunHyperband(sha.HyperbandConfig{
+				Workload: w, MaxEpochs: 9, Eta: 3,
+				Runner: trainer.NewRunner(seed + 61), Seed: seed,
+				PlanBracket: planBracket,
+			})
+		}},
+		{"BOHB", func() (*sha.HyperbandResult, error) {
+			res, _, err := sha.RunBOHB(sha.HyperbandConfig{
+				Workload: w, MaxEpochs: 9, Eta: 3,
+				Runner: trainer.NewRunner(seed + 61), Seed: seed,
+				PlanBracket: planBracket,
+			})
+			return res, err
+		}},
 	}
+	rows, err := cells(len(tuners), func(i int) ([]string, error) {
+		res, err := tuners[i].run()
+		if err != nil {
+			return nil, cellErr(tuners[i].name, err)
+		}
+		return []string{
+			tuners[i].name, f4(res.Best.Loss), fmt.Sprintf("%.5f", res.Best.HP.LR),
+			seconds(res.JCT), dollars(res.TotalCost),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -132,17 +131,25 @@ func (h *hptSetup) hptSystems(trials int, budget, qos float64, seed uint64) (map
 
 	plans["Fixed"] = h.pl.FixedPlan(budget, qos)
 
-	runs := map[string]*sha.Result{}
-	for name, p := range plans {
+	// Planning above is serial (the systems share h.pl and its Evaluated
+	// counter); the executions are independent — each gets a fresh Runner —
+	// so they run as parallel cells merged back in system order.
+	fixedCap := h.pl.ConcurrencyShare()
+	results, err := cells(len(hptOrder), func(i int) (*sha.Result, error) {
+		name := hptOrder[i]
 		capN := 0
 		if name == "Fixed" {
-			capN = h.pl.ConcurrencyShare()
+			capN = fixedCap
 		}
-		run, err := h.execute(p.Plan, trials, seed, capN)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s: %w", name, err)
-		}
-		runs[name] = run
+		run, err := h.execute(plans[name].Plan, trials, seed, capN)
+		return run, cellErr(name, err)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	runs := map[string]*sha.Result{}
+	for i, name := range hptOrder {
+		runs[name] = results[i]
 	}
 	return runs, plans, nil
 }
@@ -157,7 +164,9 @@ func fig9(seed uint64) (*Table, error) {
 		Headers: []string{"model", "system", "JCT", "cost", "budget", "JCT vs LambdaML"},
 		Notes:   fmt.Sprintf("%d trials (paper: 16384), eta=2, %d epochs/stage; budget = 1.3x cheapest static plan", hptTrials, hptEpochsPerStage),
 	}
-	for _, w := range workload.Evaluated() {
+	models := workload.Evaluated()
+	blocks, err := cells(len(models), func(i int) ([][]string, error) {
+		w := models[i]
 		h, err := newHPT(w, hptTrials)
 		if err != nil {
 			return nil, err
@@ -165,16 +174,24 @@ func fig9(seed uint64) (*Table, error) {
 		budget := h.budgetRef()
 		runs, _, err := h.hptSystems(hptTrials, budget, 0, seed)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return nil, cellErr(w.Name, err)
 		}
 		base := runs["LambdaML"].JCT
+		var rows [][]string
 		for _, sys := range hptOrder {
 			r := runs[sys]
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				w.Name, sys, seconds(r.JCT), dollars(r.TotalCost), dollars(budget),
 				pct(reduction(base, r.JCT)),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -187,7 +204,9 @@ func fig10(seed uint64) (*Table, error) {
 		Headers: []string{"model", "system", "cost", "JCT", "QoS", "cost vs LambdaML"},
 		Notes:   fmt.Sprintf("%d trials; QoS = geometric mean of fastest/cheapest static JCT", hptTrials),
 	}
-	for _, w := range workload.Evaluated() {
+	models := workload.Evaluated()
+	blocks, err := cells(len(models), func(i int) ([][]string, error) {
+		w := models[i]
 		h, err := newHPT(w, hptTrials)
 		if err != nil {
 			return nil, err
@@ -195,16 +214,24 @@ func fig10(seed uint64) (*Table, error) {
 		qos := h.qosRef()
 		runs, _, err := h.hptSystems(hptTrials, 0, qos, seed)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return nil, cellErr(w.Name, err)
 		}
 		base := runs["LambdaML"].TotalCost
+		var rows [][]string
 		for _, sys := range hptOrder {
 			r := runs[sys]
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				w.Name, sys, dollars(r.TotalCost), seconds(r.JCT), seconds(qos),
 				pct(reduction(base, r.TotalCost)),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -332,7 +359,8 @@ func fig3(seed uint64) (*Table, error) {
 		Headers: []string{"plan", "stage1", "stage2", "stage3", "stage4", "stage5", "total JCT", "cost"},
 		Notes:   "recycle (CE) = the greedy planner's cost-neutral reallocation; over-recycle forces stage 1 to the slowest allocation (the paper's 30% case)",
 	}
-	for _, p := range plans {
+	rows, err := cells(len(plans), func(i int) ([]string, error) {
+		p := plans[i]
 		run, err := sha.Run(sha.Config{
 			Workload: w, Trials: trials, Eta: eta, EpochsPerStage: 2,
 			Plan: p.plan, Runner: trainer.NewRunner(seed), Seed: seed,
@@ -344,9 +372,12 @@ func fig3(seed uint64) (*Table, error) {
 		for _, st := range run.Stages {
 			row = append(row, seconds(st.WallTime))
 		}
-		row = append(row, seconds(run.JCT), dollars(run.TotalCost))
-		t.Rows = append(t.Rows, row)
+		return append(row, seconds(run.JCT), dollars(run.TotalCost)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -422,16 +453,21 @@ func fig16(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, sys := range []struct {
+		systems := []struct {
 			name string
 			plan planner.Plan
-		}{{"CE-scaling", cePlan.Plan}, {"Siren", sirPlan.Plan}, {"Cirrus", cirPlan.Plan}} {
-			run, err := h.execute(sys.plan, hptTrials, seed, 0)
+		}{{"CE-scaling", cePlan.Plan}, {"Siren", sirPlan.Plan}, {"Cirrus", cirPlan.Plan}}
+		rows, err := cells(len(systems), func(i int) ([]string, error) {
+			run, err := h.execute(systems[i].plan, hptTrials, seed, 0)
 			if err != nil {
-				return nil, err
+				return nil, cellErr(systems[i].name, err)
 			}
-			t.Rows = append(t.Rows, []string{kind.String(), sys.name, seconds(run.JCT), dollars(run.TotalCost)})
+			return []string{kind.String(), systems[i].name, seconds(run.JCT), dollars(run.TotalCost)}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -441,16 +477,18 @@ func fig21a(seed uint64) (*Table, error) {
 	t := &Table{
 		ID:      "fig21a",
 		Title:   "HPT planning overhead: Pareto-pruned vs full allocation search (WO-pa)",
-		Headers: []string{"model", "variant", "candidates evaluated", "modeled overhead", "wall time"},
-		Notes:   "modeled overhead = candidates x 50ms estimation latency (the paper's seconds-level budget); wall time is this host's actual planning time",
+		Headers: []string{"model", "variant", "candidates evaluated", "modeled overhead", "search space"},
+		Notes:   "modeled overhead = candidates x 50ms estimation latency (the paper's seconds-level budget); search space = candidate allocations the planner scores per decision (|P| after Pareto pruning vs the full |Theta|)",
 	}
-	for _, w := range workload.Evaluated() {
+	models := workload.Evaluated()
+	blocks, err := cells(len(models), func(i int) ([][]string, error) {
+		w := models[i]
 		fw := core.New(w)
+		var rows [][]string
 		for _, variant := range []struct {
 			name    string
 			disable bool
 		}{{"CE-scaling", false}, {"WO-pa", true}} {
-			start := time.Now()
 			res, _, err := fw.PlanHPT(hptTrials, 2, hptEpochsPerStage, core.Options{
 				Budget:        1e15,
 				DisablePareto: variant.disable,
@@ -459,14 +497,24 @@ func fig21a(seed uint64) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			wall := time.Since(start)
-			t.Rows = append(t.Rows, []string{
+			space := len(fw.Pareto)
+			if variant.disable {
+				space = len(fw.Full)
+			}
+			rows = append(rows, []string{
 				w.Name, variant.name,
 				fmt.Sprintf("%d", res.Evaluated),
 				seconds(float64(res.Evaluated) * 0.05),
-				wall.Round(time.Microsecond).String(),
+				fmt.Sprintf("%d", space),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }

@@ -43,39 +43,50 @@ func tab2(seed uint64) (*Table, error) {
 	}
 	models := []*workload.Model{workload.LRHiggs(), workload.MobileNet()}
 	const epochs = 5
-	for _, n := range []int{10, 50} {
-		for _, w := range models {
-			base := map[storage.Kind]*trainer.Result{}
-			for _, kind := range storage.Kinds() {
-				a := cost.Allocation{N: n, MemMB: 1769, Storage: kind}
-				m := cost.NewModel(w)
-				if !m.Feasible(a) {
-					continue
-				}
-				r := trainer.NewRunner(seed + uint64(n) + uint64(kind)*13)
-				res, err := r.RunEpochs(w, w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed), a, epochs)
-				if err != nil {
-					return nil, err
-				}
-				base[kind] = res
+	ns := []int{10, 50}
+	// Each (n, model) block is independent: flatten to cells, each running
+	// its four storage services.
+	blocks, err := cells(len(ns)*len(models), func(bi int) ([][]string, error) {
+		n := ns[bi/len(models)]
+		w := models[bi%len(models)]
+		base := map[storage.Kind]*trainer.Result{}
+		for _, kind := range storage.Kinds() {
+			a := cost.Allocation{N: n, MemMB: 1769, Storage: kind}
+			m := cost.NewModel(w)
+			if !m.Feasible(a) {
+				continue
 			}
-			s3 := base[storage.S3]
-			if s3 == nil {
-				return nil, fmt.Errorf("tab2: no S3 baseline for %s n=%d", w.Name, n)
+			r := trainer.NewRunner(seed + uint64(n) + uint64(kind)*13)
+			res, err := r.RunEpochs(w, w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed), a, epochs)
+			if err != nil {
+				return nil, err
 			}
-			for _, kind := range storage.Kinds() {
-				label := fmt.Sprintf("%d functions/1769MB", n)
-				res := base[kind]
-				if res == nil {
-					t.Rows = append(t.Rows, []string{label, w.Name, kind.String(), "N/A", "N/A"})
-					continue
-				}
-				t.Rows = append(t.Rows, []string{
-					label, w.Name, kind.String(),
-					f2(res.JCT / s3.JCT), f2(res.TotalCost / s3.TotalCost),
-				})
-			}
+			base[kind] = res
 		}
+		s3 := base[storage.S3]
+		if s3 == nil {
+			return nil, fmt.Errorf("tab2: no S3 baseline for %s n=%d", w.Name, n)
+		}
+		var rows [][]string
+		for _, kind := range storage.Kinds() {
+			label := fmt.Sprintf("%d functions/1769MB", n)
+			res := base[kind]
+			if res == nil {
+				rows = append(rows, []string{label, w.Name, kind.String(), "N/A", "N/A"})
+				continue
+			}
+			rows = append(rows, []string{
+				label, w.Name, kind.String(),
+				f2(res.JCT / s3.JCT), f2(res.TotalCost / s3.TotalCost),
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }

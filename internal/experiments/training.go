@@ -101,25 +101,30 @@ func runModifiedCirrus(fw *core.Framework, budget, qos float64, seed uint64) (*t
 
 var trainOrder = []string{"CE-scaling", "Siren", "Cirrus*"}
 
-// trainSystems runs the Fig. 12/13 system matrix for one model.
+// trainSystems runs the Fig. 12/13 system matrix for one model. The three
+// systems each build their own scheduler and Runner over the read-only
+// framework, so they run as parallel cells merged back in system order.
 func trainSystems(fw *core.Framework, budget, qos float64, seed uint64) (map[string]*trainer.Result, error) {
-	out := map[string]*trainer.Result{}
-	ce, err := runCE(fw, core.Options{Budget: budget, QoS: qos, Seed: seed}, seed)
-	if err != nil {
-		return nil, fmt.Errorf("CE: %w", err)
+	runs := []struct {
+		name string
+		f    func() (*trainer.Result, error)
+	}{
+		{"CE", func() (*trainer.Result, error) {
+			return runCE(fw, core.Options{Budget: budget, QoS: qos, Seed: seed}, seed)
+		}},
+		{"Siren", func() (*trainer.Result, error) { return runSiren(fw, budget, qos, seed) }},
+		{"Cirrus*", func() (*trainer.Result, error) { return runModifiedCirrus(fw, budget, qos, seed) }},
 	}
-	out["CE-scaling"] = ce
-	sir, err := runSiren(fw, budget, qos, seed)
+	results, err := cells(len(runs), func(i int) (*trainer.Result, error) {
+		r, err := runs[i].f()
+		return r, cellErr(runs[i].name, err)
+	})
 	if err != nil {
-		return nil, fmt.Errorf("Siren: %w", err)
+		return nil, err
 	}
-	out["Siren"] = sir
-	cir, err := runModifiedCirrus(fw, budget, qos, seed)
-	if err != nil {
-		return nil, fmt.Errorf("Cirrus*: %w", err)
-	}
-	out["Cirrus*"] = cir
-	return out, nil
+	return map[string]*trainer.Result{
+		"CE-scaling": results[0], "Siren": results[1], "Cirrus*": results[2],
+	}, nil
 }
 
 // fig12 — training JCT given a budget, with the communication breakdown.
@@ -130,7 +135,9 @@ func fig12(seed uint64) (*Table, error) {
 		Headers: []string{"model", "system", "JCT", "comm time", "comm share", "cost", "converged", "JCT vs Siren"},
 		Notes:   "budget = geometric mean of cost-minimizing and JCT-minimizing CE probes; Cirrus* = Cirrus modified with online prediction (VM-PS, immediate restarts); LambdaML omitted as in the paper (offline prediction violates constraints)",
 	}
-	for _, w := range workload.Evaluated() {
+	models := workload.Evaluated()
+	blocks, err := cells(len(models), func(i int) ([][]string, error) {
+		w := models[i]
 		fw := core.New(w)
 		probe, err := trainRef(fw, seed)
 		if err != nil {
@@ -139,17 +146,25 @@ func fig12(seed uint64) (*Table, error) {
 		budget := probe.budgetRef()
 		runs, err := trainSystems(fw, budget, 0, seed)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return nil, cellErr(w.Name, err)
 		}
 		base := runs["Siren"].JCT
+		var rows [][]string
 		for _, sys := range trainOrder {
 			r := runs[sys]
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				w.Name, sys, seconds(r.JCT), seconds(r.SyncTime), pct(r.SyncTime / r.JCT),
 				dollars(r.TotalCost), fmt.Sprintf("%v", r.Converged),
 				pct(reduction(base, r.JCT)),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -162,7 +177,9 @@ func fig13(seed uint64) (*Table, error) {
 		Headers: []string{"model", "system", "cost", "storage cost", "storage share", "JCT", "QoS", "cost vs Siren"},
 		Notes:   "QoS = geometric mean of the fastest and cheapest probes' JCTs",
 	}
-	for _, w := range workload.Evaluated() {
+	models := workload.Evaluated()
+	blocks, err := cells(len(models), func(i int) ([][]string, error) {
+		w := models[i]
 		fw := core.New(w)
 		probe, err := trainRef(fw, seed)
 		if err != nil {
@@ -171,17 +188,25 @@ func fig13(seed uint64) (*Table, error) {
 		qos := probe.qosRef()
 		runs, err := trainSystems(fw, 0, qos, seed)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", w.Name, err)
+			return nil, cellErr(w.Name, err)
 		}
 		base := runs["Siren"].TotalCost
+		var rows [][]string
 		for _, sys := range trainOrder {
 			r := runs[sys]
-			t.Rows = append(t.Rows, []string{
+			rows = append(rows, []string{
 				w.Name, sys, dollars(r.TotalCost), dollars(r.StorageCost), pct(r.StorageCost / r.TotalCost),
 				seconds(r.JCT), seconds(qos),
 				pct(reduction(base, r.TotalCost)),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -243,7 +268,9 @@ func fig17(seed uint64) (*Table, error) {
 		Headers: []string{"storage", "system", "JCT", "comm time", "cost", "storage cost"},
 		Notes:   "budget = 1.3x a cost-minimizing CE probe",
 	}
-	for _, kind := range []storage.Kind{storage.S3, storage.VMPS} {
+	kinds := []storage.Kind{storage.S3, storage.VMPS}
+	blocks, err := cells(len(kinds), func(ki int) ([][]string, error) {
+		kind := kinds[ki]
 		k := kind
 		ce, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed)
 		if err != nil {
@@ -267,16 +294,24 @@ func fig17(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := []struct {
+		systems := []struct {
 			name string
 			r    *trainer.Result
 		}{{"CE-scaling", ce}, {"Siren", sir}, {"Cirrus", cir}}
-		for _, row := range rows {
-			t.Rows = append(t.Rows, []string{
+		var rows [][]string
+		for _, row := range systems {
+			rows = append(rows, []string{
 				kind.String(), row.name, seconds(row.r.JCT), seconds(row.r.SyncTime),
 				dollars(row.r.TotalCost), dollars(row.r.StorageCost),
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -305,28 +340,37 @@ func fig18(seed uint64) (*Table, error) {
 		Headers: []string{"model", "storage", "JCT", "comm time", "cost", "storage cost"},
 		Notes:   "N/A: model exceeds DynamoDB's 400KB object limit; budget = 1.3x a cost-minimizing probe",
 	}
-	for _, w := range []*workload.Model{workload.LRHiggs(), workload.MobileNet()} {
+	models := []*workload.Model{workload.LRHiggs(), workload.MobileNet()}
+	blocks, err := cells(len(models), func(mi int) ([][]string, error) {
+		w := models[mi]
 		fw := core.New(w)
 		probe, err := trainRef(fw, seed)
 		if err != nil {
 			return nil, err
 		}
 		budget := probe.budgetRef()
-		for _, kind := range storage.Kinds() {
+		kinds := storage.Kinds()
+		return cells(len(kinds), func(ki int) ([]string, error) {
+			kind := kinds[ki]
 			k := kind
 			if !fw.Model.Service(kind).Supports(w.ParamsMB) {
-				t.Rows = append(t.Rows, []string{w.Name, kind.Short(), "N/A", "N/A", "N/A", "N/A"})
-				continue
+				return []string{w.Name, kind.Short(), "N/A", "N/A", "N/A", "N/A"}, nil
 			}
 			r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed+uint64(kind))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", w.Name, kind, err)
 			}
-			t.Rows = append(t.Rows, []string{
+			return []string{
 				w.Name, kind.Short(), seconds(r.JCT), seconds(r.SyncTime),
 				dollars(r.TotalCost), dollars(r.StorageCost),
-			})
-		}
+			}, nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range blocks {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t, nil
 }
@@ -354,21 +398,26 @@ func fig21b(seed uint64) (*Table, error) {
 		{"WO-pa", core.Options{Budget: budget, Seed: seed, DisablePareto: true}},
 		{"WO-pa-dr", core.Options{Budget: budget, Seed: seed, DisablePareto: true, DisableDelayedRestart: true}},
 	}
-	for _, v := range variants {
+	rows, err := cells(len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		r, err := runCE(fw, v.opt, seed)
 		if err != nil {
-			return nil, err
+			return nil, cellErr(v.name, err)
 		}
 		adjust := r.OverheadTime - r.StartupTime - r.PlanningTime
 		if adjust < 0 {
 			adjust = 0
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			v.name, fmt.Sprintf("%d", r.Restarts),
 			seconds(r.PlanningTime), seconds(adjust),
 			seconds(r.PlanningTime + adjust), seconds(r.JCT),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -387,7 +436,9 @@ func fig21c(seed uint64) (*Table, error) {
 		Headers: []string{"delta", "restarts", "planning time", "sched overhead", "JCT", "cost"},
 		Notes:   "lower δ reacts to every prediction wobble (frequent restarts); higher δ responds slowly; default 0.1",
 	}
-	for _, delta := range []float64{0.01, 0.05, 0.1, 0.15, 0.2} {
+	deltas := []float64{0.01, 0.05, 0.1, 0.15, 0.2}
+	rows, err := cells(len(deltas), func(i int) ([]string, error) {
+		delta := deltas[i]
 		r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, Delta: delta}, seed)
 		if err != nil {
 			return nil, err
@@ -396,11 +447,15 @@ func fig21c(seed uint64) (*Table, error) {
 		if adjust < 0 {
 			adjust = 0
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			f2(delta), fmt.Sprintf("%d", r.Restarts),
 			seconds(r.PlanningTime), seconds(r.PlanningTime + adjust),
 			seconds(r.JCT), dollars(r.TotalCost),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }

@@ -30,25 +30,30 @@ func fig4(seed uint64) (*Table, error) {
 		Notes:   fmt.Sprintf("MobileNet-Cifar10, %d independent runs; error = |predicted - actual| / actual epochs to target", runs),
 	}
 
-	truths := make([]int, runs)
-	engines := make([][]float64, runs) // per-run loss traces
-	for i := 0; i < runs; i++ {
+	type truthRun struct {
+		truth int
+		trace []float64
+	}
+	truthRuns, err := cells(runs, func(i int) (truthRun, error) {
 		eng := w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed+uint64(i)*31)
 		var trace []float64
-		truth := 0
 		for e := 1; e <= 5000; e++ {
 			l := eng.NextEpoch()
 			trace = append(trace, l)
 			if l <= w.TargetLoss {
-				truth = e
-				break
+				return truthRun{truth: e, trace: trace}, nil
 			}
 		}
-		if truth == 0 {
-			return nil, fmt.Errorf("fig4: run %d never converged", i)
-		}
-		truths[i] = truth
-		engines[i] = trace
+		return truthRun{}, fmt.Errorf("fig4: run %d never converged", i)
+	})
+	if err != nil {
+		return nil, err
+	}
+	truths := make([]int, runs)
+	engines := make([][]float64, runs) // per-run loss traces
+	for i, r := range truthRuns {
+		truths[i] = r.truth
+		engines[i] = r.trace
 	}
 
 	// Offline: one prediction per run, before it starts.
@@ -154,10 +159,10 @@ func validation(id, title string, w *workload.Model, allocs []cost.Allocation, s
 		Headers: []string{"allocation", "est JCT", "sim JCT", "JCT err", "est cost", "sim cost", "cost err"},
 		Notes:   fmt.Sprintf("%d epochs per run; simulated ground truth includes stragglers, sync noise and cold starts", epochs),
 	}
-	for _, a := range allocs {
+	rows, err := cells(len(allocs), func(i int) ([]string, error) {
+		a := allocs[i]
 		if !m.Feasible(a) {
-			t.Rows = append(t.Rows, []string{a.String(), "infeasible", "", "", "", "", ""})
-			continue
+			return []string{a.String(), "infeasible", "", "", "", "", ""}, nil
 		}
 		r := trainer.NewRunner(seed + uint64(a.N) + uint64(a.MemMB))
 		res, err := r.RunEpochs(w, w.NewCurveEngine(workload.Hyperparams{LR: w.DefaultLR}, seed), a, epochs)
@@ -166,12 +171,16 @@ func validation(id, title string, w *workload.Model, allocs []cost.Allocation, s
 		}
 		estT := m.JobTime(a, epochs)
 		estC := m.JobCost(a, epochs)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			a.String(),
 			seconds(estT), seconds(res.JCT), pct(math.Abs(estT-res.JCT) / res.JCT),
 			dollars(estC), dollars(res.TotalCost), pct(math.Abs(estC-res.TotalCost) / res.TotalCost),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 

@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleRun is the kernel's hottest pattern: a self-scheduling
+// event chain (every fired event schedules its successor), which is what a
+// training job's epoch loop compiles down to. One op = one scheduled +
+// fired event; -benchmem makes the per-event allocation count visible.
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			s.ScheduleAfter(1, step)
+		}
+	}
+	s.ScheduleAfter(1, step)
+	s.Run()
+	if int(s.EventsFired()) != b.N {
+		b.Fatalf("fired %d, want %d", s.EventsFired(), b.N)
+	}
+}
+
+// BenchmarkScheduleRunFanout keeps 64 events pending at all times, so each
+// op pays real sift work in the priority queue, not just a root pop.
+func BenchmarkScheduleRunFanout(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	const width = 64
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			s.ScheduleAfter(1+float64(n%7), step)
+		}
+	}
+	for i := 0; i < width && i < b.N; i++ {
+		n++
+		s.ScheduleAfter(float64(i%5), step)
+	}
+	s.Run()
+}
+
+// BenchmarkScheduleCancel measures the schedule+cancel round trip: half the
+// scheduled events are canceled before they fire (the warm-sandbox expiry
+// pattern in internal/faas).
+func BenchmarkScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			ev := s.ScheduleAfter(2, func() {})
+			ev.Cancel()
+			s.ScheduleAfter(1, step)
+		}
+	}
+	s.ScheduleAfter(1, step)
+	s.Run()
+}

@@ -8,10 +8,16 @@
 // All simulated subsystems in this repository (the serverless platform, the
 // storage services, the distributed trainer) advance time only through this
 // kernel.
+//
+// The event queue is an inlined binary heap over a plain slice (no
+// container/heap interface boxing), and fired or reaped events return to a
+// per-simulation free list, so the steady-state hot loop — schedule, pop,
+// fire — allocates nothing. The (time, priority, sequence) total order is
+// identical to the reference container/heap implementation (asserted by the
+// kernel equivalence test).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -40,13 +46,18 @@ func (t Time) String() string {
 // Event is a scheduled callback. Events compare by time, then priority
 // (lower runs first), then insertion sequence, which makes simultaneous
 // events deterministic.
+//
+// Ownership: the pointer returned by Schedule is valid for Cancel/At until
+// the event fires or its cancellation is reaped by the run loop; afterwards
+// the kernel recycles the object for a future Schedule. Holding an Event
+// past its firing and calling methods on it is a caller bug (it may now be
+// a different scheduled event).
 type Event struct {
 	at       Time
 	priority int
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when not queued
 }
 
 // At reports the virtual time the event is scheduled for.
@@ -59,49 +70,39 @@ func (e *Event) Cancel() { e.canceled = true }
 // Canceled reports whether Cancel has been called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventLess is the queue's total order: (time, priority, sequence).
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if q[i].priority != q[j].priority {
-		return q[i].priority < q[j].priority
+	if a.priority != b.priority {
+		return a.priority < b.priority
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Simulation owns a virtual clock and an event queue.
 // The zero value is not usable; construct with New.
 type Simulation struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event // binary min-heap ordered by eventLess
 	seq     uint64
 	running bool
 	rng     map[string]*Rand
 	seed    uint64
 	fired   uint64
+
+	// free holds recycled events; arena is the tail of the current
+	// allocation block new events are carved from. Together they make the
+	// steady-state schedule/fire loop allocation-free.
+	free   []*Event
+	arena  []Event
+	allocs uint64 // events carved from fresh arena blocks (tests assert reuse)
 }
+
+// arenaChunk is how many events one arena block holds: large enough to
+// amortize the block allocation, small enough not to bloat tiny simulations.
+const arenaChunk = 64
 
 // New returns a simulation whose named random streams derive from seed.
 func New(seed uint64) *Simulation {
@@ -117,6 +118,31 @@ func (s *Simulation) EventsFired() uint64 { return s.fired }
 // Pending reports how many events are queued (including canceled ones that
 // have not yet been skipped).
 func (s *Simulation) Pending() int { return len(s.queue) }
+
+// newEvent returns a zeroed event from the free list or the arena.
+func (s *Simulation) newEvent() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	if len(s.arena) == 0 {
+		s.arena = make([]Event, arenaChunk)
+	}
+	e := &s.arena[0]
+	s.arena = s.arena[1:]
+	s.allocs++
+	return e
+}
+
+// recycle returns a fired or reaped event to the free list. The closure is
+// dropped so the kernel does not pin caller state between reuses.
+func (s *Simulation) recycle(e *Event) {
+	e.fn = nil
+	e.canceled = false
+	s.free = append(s.free, e)
+}
 
 // Schedule queues fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) panics: that is always a bug in the caller.
@@ -141,10 +167,55 @@ func (s *Simulation) SchedulePriority(at Time, priority int, fn func()) *Event {
 	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(at)))
 	}
-	e := &Event{at: at, priority: priority, seq: s.seq, fn: fn, index: -1}
+	e := s.newEvent()
+	e.at, e.priority, e.seq, e.fn = at, priority, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.heapPush(e)
 	return e
+}
+
+// heapPush appends e and sifts it up to its ordered position.
+func (s *Simulation) heapPush(e *Event) {
+	q := append(s.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(q[i], q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	s.queue = q
+}
+
+// heapPop removes and returns the minimum event.
+func (s *Simulation) heapPop() *Event {
+	q := s.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	s.queue = q
+	// Sift the moved element down to restore the heap order.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(q[r], q[l]) {
+			m = r
+		}
+		if !eventLess(q[m], q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
 }
 
 // Run drains the event queue until it is empty, advancing the clock to each
@@ -154,8 +225,9 @@ func (s *Simulation) Run() {
 }
 
 // RunUntil drains events with time <= limit. The clock is left at the last
-// executed event's time (or at limit if an event beyond it remains queued
-// and limit is finite).
+// executed event's time, or at limit when limit is finite and ahead of the
+// clock (RunUntil never moves the clock backwards: a limit already in the
+// past leaves the clock where it is).
 func (s *Simulation) RunUntil(limit Time) {
 	if s.running {
 		panic("sim: Run re-entered")
@@ -165,18 +237,22 @@ func (s *Simulation) RunUntil(limit Time) {
 	for len(s.queue) > 0 {
 		next := s.queue[0]
 		if next.at > limit {
-			if !math.IsInf(float64(limit), 1) {
+			if !math.IsInf(float64(limit), 1) && limit > s.now {
 				s.now = limit
 			}
 			return
 		}
-		heap.Pop(&s.queue)
+		s.heapPop()
 		if next.canceled {
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
 		s.fired++
-		next.fn()
+		fn := next.fn
+		next.fn = nil
+		fn()
+		s.recycle(next)
 	}
 	if !math.IsInf(float64(limit), 1) && limit > s.now {
 		s.now = limit
@@ -187,13 +263,17 @@ func (s *Simulation) RunUntil(limit Time) {
 // one was executed.
 func (s *Simulation) Step() bool {
 	for len(s.queue) > 0 {
-		next := heap.Pop(&s.queue).(*Event)
+		next := s.heapPop()
 		if next.canceled {
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
 		s.fired++
-		next.fn()
+		fn := next.fn
+		next.fn = nil
+		fn()
+		s.recycle(next)
 		return true
 	}
 	return false

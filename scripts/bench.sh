@@ -1,0 +1,79 @@
+#!/bin/sh
+# Performance snapshot for the PR 2 perf pass: microbenchmarks of the DES
+# kernel and the cost-model caches (benchstat-compatible output), plus the
+# end-to-end `cebench all` wall clock at -parallel 1 vs -parallel N. Writes
+# the measurements to BENCH_PR2.json next to the hardcoded pre-PR baseline
+# (measured on the same substrate before the kernel/cache rewrite), so the
+# repo records a perf trajectory.
+#
+#   scripts/bench.sh                 # full run, writes BENCH_PR2.json
+#   BENCH_COUNT=5 scripts/bench.sh   # more benchmark samples for benchstat
+#   BENCH_OUT=/tmp/b.json scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_PR2.json}"
+COUNT="${BENCH_COUNT:-1}"
+SEED=2023
+MICRO=/tmp/cebench_micro_bench.txt
+
+echo "== microbenchmarks (sim kernel + cost model), count=$COUNT"
+go test -run '^$' -bench 'BenchmarkScheduleRun$|BenchmarkScheduleRunFanout|BenchmarkScheduleCancel|BenchmarkEpochEstimates|BenchmarkParetoSetCached' \
+	-benchmem -count "$COUNT" ./internal/sim/ ./internal/cost/ | tee "$MICRO"
+
+echo "== cebench all wall clock (seed $SEED)"
+go build -o /tmp/cebench.bench ./cmd/cebench
+PAR="$(nproc 2>/dev/null || echo 1)"
+
+t0=$(date +%s%3N)
+/tmp/cebench.bench -seed "$SEED" -format csv -parallel 1 all >/dev/null 2>&1
+t1=$(date +%s%3N)
+serial_ms=$((t1 - t0))
+echo "serial (parallel=1): ${serial_ms}ms"
+
+t0=$(date +%s%3N)
+/tmp/cebench.bench -seed "$SEED" -format csv -parallel "$PAR" all >/dev/null 2>&1
+t1=$(date +%s%3N)
+parallel_ms=$((t1 - t0))
+echo "parallel (parallel=$PAR): ${parallel_ms}ms"
+
+# Summarize microbenchmarks into JSON: mean ns/op and allocs/op per name.
+awk -v serial_ms="$serial_ms" -v parallel_ms="$parallel_ms" -v par="$PAR" -v seed="$SEED" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	for (i = 2; i <= NF; i++) {
+		if ($(i) == "ns/op")     { ns[name] += $(i-1); nsn[name]++ }
+		if ($(i) == "allocs/op") { al[name] += $(i-1); aln[name]++ }
+	}
+}
+END {
+	printf "{\n"
+	printf "  \"pr\": 2,\n"
+	printf "  \"seed\": %d,\n", seed
+	printf "  \"note\": \"after = this tree (inlined-heap kernel, event free list, cost memoization, parallel engine); before = pre-PR2 serial kernel measured on the same host\",\n"
+	printf "  \"before\": {\n"
+	printf "    \"BenchmarkScheduleRun\": {\"ns_per_op\": 65.42, \"bytes_per_op\": 48, \"allocs_per_op\": 1},\n"
+	printf "    \"BenchmarkScheduleRunFanout\": {\"ns_per_op\": 189.2, \"bytes_per_op\": 48, \"allocs_per_op\": 1},\n"
+	printf "    \"BenchmarkScheduleCancel\": {\"ns_per_op\": 145.6, \"bytes_per_op\": 96, \"allocs_per_op\": 2},\n"
+	printf "    \"cebench_all_serial_ms\": 7890\n"
+	printf "  },\n"
+	printf "  \"after\": {\n"
+	first = 1
+	for (name in ns) {
+		if (!first) printf ",\n"
+		first = 0
+		printf "    \"%s\": {\"ns_per_op\": %.2f", name, ns[name] / nsn[name]
+		if (aln[name] > 0) printf ", \"allocs_per_op\": %.1f", al[name] / aln[name]
+		printf "}"
+	}
+	if (!first) printf ",\n"
+	printf "    \"cebench_all_serial_ms\": %d,\n", serial_ms
+	printf "    \"cebench_all_parallel_ms\": %d,\n", parallel_ms
+	printf "    \"parallelism\": %d\n", par
+	printf "  }\n"
+	printf "}\n"
+}' "$MICRO" > "$OUT"
+
+echo "wrote $OUT"

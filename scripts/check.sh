@@ -22,12 +22,21 @@ go build ./...
 echo "== go test"
 go test ./...
 
-echo "== go test -race (live substrate)"
+echo "== go test -race (live substrate + parallel engine)"
 go test -race \
 	./internal/distml/... \
 	./internal/psnet/... \
 	./internal/objstore/... \
 	./internal/lambda/... \
 	./internal/platform/livebackend/...
+go test -race -run 'TestCells|TestRunAll|Memo|Concurrent' \
+	./internal/experiments/ ./internal/cost/
+
+echo "== determinism gate (parallel == serial, kernel == reference heap)"
+go test -run 'TestParallelOutputsMatchSerial|TestRunAllPreservesRequestOrder' .
+go test -run 'TestKernelMatchesReferenceHeap|TestRunUntilNeverMovesClockBackwards' ./internal/sim/
+
+echo "== benchmark smoke (1 iteration)"
+go test -run '^$' -bench . -benchtime=1x ./internal/sim/ ./internal/cost/
 
 echo "OK"
