@@ -5,7 +5,7 @@ GO ?= go
 RACE_PKGS := ./internal/distml/... ./internal/psnet/... ./internal/objstore/... \
              ./internal/lambda/... ./internal/platform/livebackend/...
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench benchfull
 
 check: fmt vet build test race
 
@@ -25,7 +25,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 	$(GO) test -race -run 'TestCells|TestRunAll|Memo|Concurrent' \
-		./internal/experiments/ ./internal/cost/
+		./internal/experiments/ ./internal/cost/ ./internal/dataset/
 
+# Smoke-run the numeric-path benchmarks (ml kernels, dataset caches, DES
+# kernel) at a fixed small iteration count: fast enough for CI, enough to
+# catch kernels that re-grow allocations. scripts/bench.sh does the real
+# measured runs into BENCH_PR*.json.
 bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=100x \
+		./internal/ml/ ./internal/dataset/
+	$(GO) test -run '^$$' -bench . -benchtime=100x ./internal/sim/ ./internal/cost/
+
+benchfull:
 	$(GO) test -bench=. -benchtime=1x ./...

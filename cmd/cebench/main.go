@@ -14,6 +14,10 @@
 // -seed, so the tables on stdout are byte-identical at any parallelism.
 // Wall-clock diagnostics (per-artifact and total) go to stderr in every
 // format, keeping stdout deterministic.
+//
+// Profiling hooks (-cpuprofile, -memprofile, -trace) write pprof/trace
+// artifacts covering the experiment run, for `go tool pprof` and
+// `go tool trace`; see EXPERIMENTS.md "How to profile cebench".
 package main
 
 import (
@@ -22,15 +26,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	// run carries the exit code out so deferred profile/trace writers run
+	// before the process exits.
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 2023, "deterministic experiment seed")
 	format := flag.String("format", "text", "output format: text | json | csv | html")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size across and within artifacts (1 = fully serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
+	tracefile := flag.String("trace", "", "write a runtime execution trace of the experiment run to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv|html] [-parallel P] <experiment-id>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
@@ -42,13 +57,13 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 	if args[0] == "list" {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 	ids := args
 	all := args[0] == "all"
@@ -56,10 +71,54 @@ func main() {
 		ids = experiments.IDs()
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: trace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: trace: %v\n", err)
+			return 1
+		}
+		defer trace.Stop()
+	}
+
 	experiments.SetParallelism(*parallel)
 	start := time.Now()
 	outcomes := experiments.RunAll(ids, *seed)
 	total := time.Since(start)
+
+	if *memprofile != "" {
+		// Stop the CPU-facing instrumentation windows at the run boundary so
+		// the heap profile reflects steady state after the experiments.
+		runtime.GC()
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: memprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: memprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		f.Close()
+	}
 
 	exit := 0
 	var collected []*experiments.Table
@@ -96,5 +155,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cebench: %d artifacts in %s (parallel=%d)\n",
 			len(ids), total.Round(time.Millisecond), experiments.Parallelism())
 	}
-	os.Exit(exit)
+	return exit
 }

@@ -1,0 +1,29 @@
+package dataset
+
+// SetGenCacheCapForTest shrinks the generation-cache budget and clears the
+// cache so eviction can be exercised with small matrices. The returned
+// function restores the previous budget (and clears again).
+func SetGenCacheCapForTest(floats int) (restore func()) {
+	genCache.Lock()
+	prev := genCacheMaxFloats
+	genCacheMaxFloats = floats
+	genCache.m = make(map[genKey]*Matrix)
+	genCache.order = nil
+	genCache.floats = 0
+	genCache.Unlock()
+	return func() {
+		genCache.Lock()
+		genCacheMaxFloats = prev
+		genCache.m = make(map[genKey]*Matrix)
+		genCache.order = nil
+		genCache.floats = 0
+		genCache.Unlock()
+	}
+}
+
+// GenCacheLenForTest reports how many matrices the generation cache holds.
+func GenCacheLenForTest() int {
+	genCache.Lock()
+	defer genCache.Unlock()
+	return len(genCache.m)
+}

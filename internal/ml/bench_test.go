@@ -11,19 +11,75 @@ func benchData(rows int) *dataset.Matrix {
 	return dataset.GenerateBinary(sim.NewRand(1), dataset.GenConfig{Samples: rows, Features: 32, NoiseFlip: 0.1})
 }
 
-func BenchmarkLogisticGradient(b *testing.B) {
-	data := benchData(4000)
+// kernelData is the representative real-engine shape: capped 256 features,
+// as used by the SHA trials and the experiment matrix.
+func kernelData(rows, cols int) *dataset.Matrix {
+	return dataset.GenerateBinary(sim.NewRand(1), dataset.GenConfig{Samples: rows, Features: cols, NoiseFlip: 0.1})
+}
+
+func benchGradient(b *testing.B, obj Objective) {
+	data := kernelData(2000, 256)
 	w := make([]float64, data.Cols)
+	rng := sim.NewRand(7)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.1
+	}
 	idx := make([]int, 256)
 	for i := range idx {
-		idx[i] = i
+		idx[i] = (i * 7) % data.Rows
 	}
 	grad := make([]float64, data.Cols)
-	obj := Logistic{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Zero(grad)
 		obj.Gradient(w, data, idx, grad)
+	}
+}
+
+func BenchmarkGradientLogistic(b *testing.B) { benchGradient(b, Logistic{L2: 1e-4}) }
+func BenchmarkGradientHinge(b *testing.B)    { benchGradient(b, Hinge{L2: 1e-4}) }
+func BenchmarkGradientSquared(b *testing.B)  { benchGradient(b, Squared{L2: 1e-4}) }
+
+// BenchmarkWorkerGradient measures one worker's full mini-batch gradient
+// (batch draw + kernel) at the SHA-trial shape; the steady state must not
+// allocate.
+func BenchmarkWorkerGradient(b *testing.B) {
+	shard := kernelData(1500, 256)
+	w := NewWorker(shard, sim.NewRand(3))
+	model := make([]float64, shard.Cols)
+	obj := Logistic{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Gradient(obj, model, 37)
+	}
+}
+
+// BenchmarkRunEpoch measures the whole BSP epoch path (gradients, in-place
+// aggregation, SGD step, full-data loss) at the SHA-trial shape.
+func BenchmarkRunEpoch(b *testing.B) {
+	tr, err := NewTrainer(kernelData(1500, 256), Config{
+		Objective: Logistic{L2: 1e-4}, Workers: 8, BatchPerWkr: 37, LearningRate: 0.1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.RunEpoch()
+	}
+}
+
+func BenchmarkLoss(b *testing.B) {
+	data := kernelData(2000, 256)
+	w := make([]float64, data.Cols)
+	obj := Logistic{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj.Loss(w, data)
 	}
 }
 
@@ -44,6 +100,7 @@ func BenchmarkBSPEpoch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.RunEpoch()

@@ -9,6 +9,12 @@
 // their shards and the Bulk Synchronous Parallel reduction is plain vector
 // addition, so the simulated trainer can route the exchange through any
 // storage.Store.
+//
+// The numeric path is allocation-free in the steady state: workers own
+// pre-sized gradient scratch buffers, the trainer aggregates worker
+// gradients in place, and the gradient/loss kernels process rows four at a
+// time with per-row summation order preserved, so results are bit-identical
+// to the naive loops.
 package ml
 
 import (
@@ -43,10 +49,23 @@ func (Logistic) Name() string { return "logistic" }
 // Gradient implements Objective.
 func (l Logistic) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64) {
 	inv := 1 / float64(len(idx))
-	for _, r := range idx {
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		i0, i1, i2, i3 := idx[k], idx[k+1], idx[k+2], idx[k+3]
+		r0, r1, r2, r3 := m.Row(i0), m.Row(i1), m.Row(i2), m.Row(i3)
+		d0, d1, d2, d3 := dot4(w, r0, r1, r2, r3)
+		y0, y1, y2, y3 := m.Y[i0], m.Y[i1], m.Y[i2], m.Y[i3]
+		// d/dw log(1+exp(-y w·x)) = -y x sigmoid(-y w·x)
+		c0 := -y0 * Sigmoid(-y0*d0) * inv
+		c1 := -y1 * Sigmoid(-y1*d1) * inv
+		c2 := -y2 * Sigmoid(-y2*d2) * inv
+		c3 := -y3 * Sigmoid(-y3*d3) * inv
+		axpy4(c0, c1, c2, c3, r0, r1, r2, r3, grad)
+	}
+	for ; k < len(idx); k++ {
+		r := idx[k]
 		row := m.Row(r)
 		y := m.Y[r]
-		// d/dw log(1+exp(-y w·x)) = -y x sigmoid(-y w·x)
 		coeff := -y * Sigmoid(-y*Dot(w, row)) * inv
 		Axpy(coeff, row, grad)
 	}
@@ -58,7 +77,15 @@ func (l Logistic) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []flo
 // Loss implements Objective.
 func (l Logistic) Loss(w []float64, m *dataset.Matrix) float64 {
 	var sum float64
-	for r := 0; r < m.Rows; r++ {
+	r := 0
+	for ; r+4 <= m.Rows; r += 4 {
+		d0, d1, d2, d3 := dot4(w, m.Row(r), m.Row(r+1), m.Row(r+2), m.Row(r+3))
+		sum += Log1pExp(-m.Y[r] * d0)
+		sum += Log1pExp(-m.Y[r+1] * d1)
+		sum += Log1pExp(-m.Y[r+2] * d2)
+		sum += Log1pExp(-m.Y[r+3] * d3)
+	}
+	for ; r < m.Rows; r++ {
 		sum += Log1pExp(-m.Y[r] * Dot(w, m.Row(r)))
 	}
 	loss := sum / float64(m.Rows)
@@ -75,10 +102,32 @@ type Hinge struct{ L2 float64 }
 // Name implements Objective.
 func (Hinge) Name() string { return "hinge" }
 
-// Gradient implements Objective (subgradient at the hinge point).
+// Gradient implements Objective (subgradient at the hinge point). The dot
+// products are batched four rows at a time; the subgradient of each active
+// row is applied individually and in row order, keeping skip semantics and
+// accumulation order identical to the scalar loop.
 func (h Hinge) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64) {
 	inv := 1 / float64(len(idx))
-	for _, r := range idx {
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		i0, i1, i2, i3 := idx[k], idx[k+1], idx[k+2], idx[k+3]
+		r0, r1, r2, r3 := m.Row(i0), m.Row(i1), m.Row(i2), m.Row(i3)
+		d0, d1, d2, d3 := dot4(w, r0, r1, r2, r3)
+		if y := m.Y[i0]; y*d0 < 1 {
+			Axpy(-y*inv, r0, grad)
+		}
+		if y := m.Y[i1]; y*d1 < 1 {
+			Axpy(-y*inv, r1, grad)
+		}
+		if y := m.Y[i2]; y*d2 < 1 {
+			Axpy(-y*inv, r2, grad)
+		}
+		if y := m.Y[i3]; y*d3 < 1 {
+			Axpy(-y*inv, r3, grad)
+		}
+	}
+	for ; k < len(idx); k++ {
+		r := idx[k]
 		row := m.Row(r)
 		y := m.Y[r]
 		if y*Dot(w, row) < 1 {
@@ -93,7 +142,23 @@ func (h Hinge) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float6
 // Loss implements Objective.
 func (h Hinge) Loss(w []float64, m *dataset.Matrix) float64 {
 	var sum float64
-	for r := 0; r < m.Rows; r++ {
+	r := 0
+	for ; r+4 <= m.Rows; r += 4 {
+		d0, d1, d2, d3 := dot4(w, m.Row(r), m.Row(r+1), m.Row(r+2), m.Row(r+3))
+		if v := 1 - m.Y[r]*d0; v > 0 {
+			sum += v
+		}
+		if v := 1 - m.Y[r+1]*d1; v > 0 {
+			sum += v
+		}
+		if v := 1 - m.Y[r+2]*d2; v > 0 {
+			sum += v
+		}
+		if v := 1 - m.Y[r+3]*d3; v > 0 {
+			sum += v
+		}
+	}
+	for ; r < m.Rows; r++ {
 		if v := 1 - m.Y[r]*Dot(w, m.Row(r)); v > 0 {
 			sum += v
 		}
@@ -115,7 +180,19 @@ func (Squared) Name() string { return "squared" }
 // Gradient implements Objective.
 func (s Squared) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64) {
 	inv := 1 / float64(len(idx))
-	for _, r := range idx {
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		i0, i1, i2, i3 := idx[k], idx[k+1], idx[k+2], idx[k+3]
+		r0, r1, r2, r3 := m.Row(i0), m.Row(i1), m.Row(i2), m.Row(i3)
+		d0, d1, d2, d3 := dot4(w, r0, r1, r2, r3)
+		c0 := (d0 - m.Y[i0]) * inv
+		c1 := (d1 - m.Y[i1]) * inv
+		c2 := (d2 - m.Y[i2]) * inv
+		c3 := (d3 - m.Y[i3]) * inv
+		axpy4(c0, c1, c2, c3, r0, r1, r2, r3, grad)
+	}
+	for ; k < len(idx); k++ {
+		r := idx[k]
 		row := m.Row(r)
 		coeff := (Dot(w, row) - m.Y[r]) * inv
 		Axpy(coeff, row, grad)
@@ -128,7 +205,19 @@ func (s Squared) Gradient(w []float64, m *dataset.Matrix, idx []int, grad []floa
 // Loss implements Objective.
 func (s Squared) Loss(w []float64, m *dataset.Matrix) float64 {
 	var sum float64
-	for r := 0; r < m.Rows; r++ {
+	r := 0
+	for ; r+4 <= m.Rows; r += 4 {
+		d0, d1, d2, d3 := dot4(w, m.Row(r), m.Row(r+1), m.Row(r+2), m.Row(r+3))
+		e0 := d0 - m.Y[r]
+		e1 := d1 - m.Y[r+1]
+		e2 := d2 - m.Y[r+2]
+		e3 := d3 - m.Y[r+3]
+		sum += e0 * e0 / 2
+		sum += e1 * e1 / 2
+		sum += e2 * e2 / 2
+		sum += e3 * e3 / 2
+	}
+	for ; r < m.Rows; r++ {
 		d := Dot(w, m.Row(r)) - m.Y[r]
 		sum += d * d / 2
 	}
@@ -157,10 +246,11 @@ func ObjectiveByName(name string, l2 float64) (Objective, error) {
 // Worker computes gradients over one data shard with its own batch cursor,
 // mirroring one serverless function in the BSP loop.
 type Worker struct {
-	Shard *dataset.Matrix
-	perm  []int
-	pos   int
-	rng   *sim.Rand
+	Shard   *dataset.Matrix
+	perm    []int
+	pos     int
+	rng     *sim.Rand
+	scratch []float64 // reused by Gradient between calls
 }
 
 // NewWorker returns a worker over shard using rng for batch shuffling.
@@ -170,8 +260,21 @@ func NewWorker(shard *dataset.Matrix, rng *sim.Rand) *Worker {
 	return w
 }
 
+// reshuffle refills the worker's permutation in place, consuming the same
+// RNG draws and producing the same ordering as rng.Perm (so the shuffle
+// stream is unchanged) without reallocating.
 func (w *Worker) reshuffle() {
-	w.perm = w.rng.Perm(w.Shard.Rows)
+	n := w.Shard.Rows
+	if cap(w.perm) < n {
+		w.perm = make([]int, n)
+	}
+	p := w.perm[:n]
+	for i := range p {
+		j := w.rng.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	w.perm = p
 	w.pos = 0
 }
 
@@ -189,12 +292,26 @@ func (w *Worker) NextBatch(size int) []int {
 	return b
 }
 
-// Gradient computes the worker's average gradient at weights wvec over its
-// next mini-batch of size batch, returning a freshly allocated vector.
-func (w *Worker) Gradient(obj Objective, wvec []float64, batch int) []float64 {
-	grad := make([]float64, len(wvec))
+// GradientInto computes the worker's average gradient at weights wvec over
+// its next mini-batch of size batch, writing it into the caller-owned grad
+// (len(grad) must equal len(wvec); it is zeroed first).
+func (w *Worker) GradientInto(obj Objective, wvec []float64, batch int, grad []float64) {
+	Zero(grad)
 	obj.Gradient(wvec, w.Shard, w.NextBatch(batch), grad)
-	return grad
+}
+
+// Gradient computes the worker's average gradient at weights wvec over its
+// next mini-batch of size batch. The returned slice is the worker's own
+// scratch buffer: it is valid until the next Gradient call on this worker,
+// which keeps the steady-state loop allocation-free. Callers that need the
+// value to outlive the next call must copy it (or use GradientInto).
+func (w *Worker) Gradient(obj Objective, wvec []float64, batch int) []float64 {
+	if cap(w.scratch) < len(wvec) {
+		w.scratch = make([]float64, len(wvec))
+	}
+	g := w.scratch[:len(wvec)]
+	w.GradientInto(obj, wvec, batch, g)
+	return g
 }
 
 // Config parameterizes a BSP training run.
@@ -215,10 +332,23 @@ type Trainer struct {
 	workers []*Worker
 	weights []float64
 	epoch   int
+
+	// Pre-sized scratch for the BSP loop: one backing array holding every
+	// worker's gradient plus the aggregation vector, so the steady-state
+	// epoch path allocates nothing.
+	grads [][]float64
+	sum   []float64
 }
 
+// parallelGradFloor is the per-worker batch work (rows × features) below
+// which fanning gradient computation out to goroutines costs more than it
+// saves; typical SHA-trial batches sit far below it, so the steady-state
+// path stays single-threaded, deterministic and allocation-free.
+const parallelGradFloor = 1 << 17
+
 // NewTrainer partitions data across cfg.Workers workers and zero-initializes
-// the model.
+// the model. Sharding goes through the dataset shard cache, so concurrent
+// trials over the same matrix share one read-only partitioning.
 func NewTrainer(data *dataset.Matrix, cfg Config) (*Trainer, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("ml: need at least one worker, got %d", cfg.Workers)
@@ -233,11 +363,17 @@ func NewTrainer(data *dataset.Matrix, cfg Config) (*Trainer, error) {
 		return nil, fmt.Errorf("ml: %d rows cannot feed %d workers", data.Rows, cfg.Workers)
 	}
 	t := &Trainer{cfg: cfg, data: data, weights: make([]float64, data.Cols)}
-	shards := data.Partition(cfg.Workers)
+	shards := data.Shards(cfg.Workers)
 	seedRng := sim.NewRand(cfg.Seed)
 	for i, sh := range shards {
 		t.workers = append(t.workers, NewWorker(sh, sim.NewRand(seedRng.Uint64()+uint64(i))))
 	}
+	buf := make([]float64, (len(t.workers)+1)*data.Cols)
+	t.grads = make([][]float64, len(t.workers))
+	for i := range t.grads {
+		t.grads[i] = buf[i*data.Cols : (i+1)*data.Cols]
+	}
+	t.sum = buf[len(t.workers)*data.Cols:]
 	return t, nil
 }
 
@@ -272,23 +408,34 @@ func (t *Trainer) IterationsPerEpoch() int {
 }
 
 // WorkerGradients computes each worker's mini-batch gradient at the current
-// weights, in parallel across OS threads. The caller (the simulated
-// trainer) routes these through storage before calling ApplyAggregate.
+// weights. The returned slices are the trainer's pre-sized scratch buffers:
+// they are valid until the next WorkerGradients or RunIteration call. Small
+// batches are computed inline (per-worker RNG streams make the result
+// independent of execution order); large ones fan out across OS threads.
 func (t *Trainer) WorkerGradients() [][]float64 {
-	grads := make([][]float64, len(t.workers))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, w := range t.workers {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			grads[i] = w.Gradient(t.cfg.Objective, t.weights, t.cfg.BatchPerWkr)
-			<-sem
-		}(i, w)
+	batch := t.cfg.BatchPerWkr
+	if batch <= 0 || batch > t.workers[0].Shard.Rows {
+		batch = t.workers[0].Shard.Rows
 	}
-	wg.Wait()
-	return grads
+	if len(t.workers) > 1 && runtime.GOMAXPROCS(0) > 1 && batch*t.data.Cols >= parallelGradFloor {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, w := range t.workers {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, w *Worker) {
+				defer wg.Done()
+				w.GradientInto(t.cfg.Objective, t.weights, t.cfg.BatchPerWkr, t.grads[i])
+				<-sem
+			}(i, w)
+		}
+		wg.Wait()
+		return t.grads
+	}
+	for i, w := range t.workers {
+		w.GradientInto(t.cfg.Objective, t.weights, t.cfg.BatchPerWkr, t.grads[i])
+	}
+	return t.grads
 }
 
 // ApplyAggregate applies the sum of worker gradients (dividing by the number
@@ -298,14 +445,17 @@ func (t *Trainer) ApplyAggregate(sum []float64) {
 }
 
 // RunIteration performs one full BSP iteration in-memory (gradients +
-// aggregate + step) and is the building block RunEpoch uses.
+// aggregate + step) and is the building block RunEpoch uses. The
+// aggregation reuses the trainer's scratch vector and folds worker
+// gradients in index order, so it allocates nothing and matches the
+// sequential reduction bit for bit.
 func (t *Trainer) RunIteration() {
 	grads := t.WorkerGradients()
-	sum := make([]float64, len(t.weights))
+	Zero(t.sum)
 	for _, g := range grads {
-		Add(g, sum)
+		Add(g, t.sum)
 	}
-	t.ApplyAggregate(sum)
+	t.ApplyAggregate(t.sum)
 }
 
 // RunEpoch performs one epoch of BSP iterations and returns the full-data

@@ -333,12 +333,15 @@ func (m *Model) NewRealEngine(hp Hyperparams, rows int, seed uint64) (Engine, er
 	if features > 256 {
 		features = 256
 	}
-	gen := sim.NewRand(seed ^ 0xda7a)
+	// Generation goes through the process-wide cache: engines created with
+	// the same generator parameters (every compared system in a figure, or
+	// repeated trials at one seed) share a single read-only matrix, bit-
+	// identical to generating it fresh from seed ^ 0xda7a.
 	var data *dataset.Matrix
 	if m.Dataset.Task == dataset.Regression {
-		data = dataset.GenerateRegression(gen, dataset.GenConfig{Samples: rows, Features: features, NoiseStd: m.GenNoise})
+		data = dataset.CachedRegression(seed^0xda7a, dataset.GenConfig{Samples: rows, Features: features, NoiseStd: m.GenNoise})
 	} else {
-		data = dataset.GenerateBinary(gen, dataset.GenConfig{Samples: rows, Features: features, NoiseFlip: m.GenFlip})
+		data = dataset.CachedBinary(seed^0xda7a, dataset.GenConfig{Samples: rows, Features: features, NoiseFlip: m.GenFlip})
 	}
 	lr := hp.LR
 	if lr <= 0 {

@@ -1,30 +1,36 @@
 #!/bin/sh
-# Performance snapshot for the PR 2 perf pass: microbenchmarks of the DES
-# kernel and the cost-model caches (benchstat-compatible output), plus the
-# end-to-end `cebench all` wall clock at -parallel 1 vs -parallel N. Writes
-# the measurements to BENCH_PR2.json next to the hardcoded pre-PR baseline
-# (measured on the same substrate before the kernel/cache rewrite), so the
-# repo records a perf trajectory.
+# Performance snapshot for the PR 3 perf pass: microbenchmarks of the
+# real-ML numeric kernels (internal/ml), the dataset shard/generation caches
+# (internal/dataset) and the DES kernel (internal/sim), plus the end-to-end
+# `cebench all` wall clock at -parallel 1 and at the binary's actual
+# GOMAXPROCS. Writes the measurements to BENCH_PR3.json next to the
+# hardcoded pre-PR baseline (measured on the same host before the kernel
+# rewrite and caches), so the repo records a perf trajectory.
 #
-#   scripts/bench.sh                 # full run, writes BENCH_PR2.json
+# The recorded "parallelism" is the GOMAXPROCS the cebench binary itself
+# reports for the parallel run (parsed from its stderr), not a guess from
+# nproc — BENCH_PR2.json recorded 1 for exactly that reason, hiding the
+# serial-vs-parallel comparison.
+#
+#   scripts/bench.sh                 # full run, writes BENCH_PR3.json
 #   BENCH_COUNT=5 scripts/bench.sh   # more benchmark samples for benchstat
 #   BENCH_OUT=/tmp/b.json scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR2.json}"
+OUT="${BENCH_OUT:-BENCH_PR3.json}"
 COUNT="${BENCH_COUNT:-1}"
 SEED=2023
 MICRO=/tmp/cebench_micro_bench.txt
 
-echo "== microbenchmarks (sim kernel + cost model), count=$COUNT"
-go test -run '^$' -bench 'BenchmarkScheduleRun$|BenchmarkScheduleRunFanout|BenchmarkScheduleCancel|BenchmarkEpochEstimates|BenchmarkParetoSetCached' \
-	-benchmem -count "$COUNT" ./internal/sim/ ./internal/cost/ | tee "$MICRO"
+echo "== microbenchmarks (ml kernels + dataset caches + sim kernel), count=$COUNT"
+go test -run '^$' \
+	-bench 'BenchmarkGradientLogistic$|BenchmarkGradientHinge$|BenchmarkGradientSquared$|BenchmarkWorkerGradient$|BenchmarkRunEpoch$|BenchmarkLoss$|BenchmarkPartition$|BenchmarkShards$|BenchmarkGenerateBinary$|BenchmarkCachedBinary$|BenchmarkScheduleRun$|BenchmarkScheduleRunFanout' \
+	-benchmem -count "$COUNT" ./internal/ml/ ./internal/dataset/ ./internal/sim/ | tee "$MICRO"
 
 echo "== cebench all wall clock (seed $SEED)"
 go build -o /tmp/cebench.bench ./cmd/cebench
-PAR="$(nproc 2>/dev/null || echo 1)"
 
 t0=$(date +%s%3N)
 /tmp/cebench.bench -seed "$SEED" -format csv -parallel 1 all >/dev/null 2>&1
@@ -33,9 +39,13 @@ serial_ms=$((t1 - t0))
 echo "serial (parallel=1): ${serial_ms}ms"
 
 t0=$(date +%s%3N)
-/tmp/cebench.bench -seed "$SEED" -format csv -parallel "$PAR" all >/dev/null 2>&1
+/tmp/cebench.bench -seed "$SEED" -format csv all >/dev/null 2>/tmp/cebench_par_err.txt
 t1=$(date +%s%3N)
 parallel_ms=$((t1 - t0))
+# The binary reports the worker-pool size it actually used (= GOMAXPROCS
+# unless overridden); take it from the summary line on stderr.
+PAR="$(sed -n 's/.*(parallel=\([0-9]*\)).*/\1/p' /tmp/cebench_par_err.txt | tail -1)"
+[ -n "$PAR" ] || PAR=1
 echo "parallel (parallel=$PAR): ${parallel_ms}ms"
 
 # Summarize microbenchmarks into JSON: mean ns/op and allocs/op per name.
@@ -50,14 +60,20 @@ awk -v serial_ms="$serial_ms" -v parallel_ms="$parallel_ms" -v par="$PAR" -v see
 }
 END {
 	printf "{\n"
-	printf "  \"pr\": 2,\n"
+	printf "  \"pr\": 3,\n"
 	printf "  \"seed\": %d,\n", seed
-	printf "  \"note\": \"after = this tree (inlined-heap kernel, event free list, cost memoization, parallel engine); before = pre-PR2 serial kernel measured on the same host\",\n"
+	printf "  \"note\": \"after = this tree (fused 4-row gradient/loss kernels, zero-alloc epoch path, shard + generation caches); before = pre-PR3 scalar kernels and per-trial generation measured on the same host with these benchmarks\",\n"
 	printf "  \"before\": {\n"
-	printf "    \"BenchmarkScheduleRun\": {\"ns_per_op\": 65.42, \"bytes_per_op\": 48, \"allocs_per_op\": 1},\n"
-	printf "    \"BenchmarkScheduleRunFanout\": {\"ns_per_op\": 189.2, \"bytes_per_op\": 48, \"allocs_per_op\": 1},\n"
-	printf "    \"BenchmarkScheduleCancel\": {\"ns_per_op\": 145.6, \"bytes_per_op\": 96, \"allocs_per_op\": 2},\n"
-	printf "    \"cebench_all_serial_ms\": 7890\n"
+	printf "    \"BenchmarkGradientLogistic\": {\"ns_per_op\": 112938, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkGradientHinge\": {\"ns_per_op\": 85109, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkGradientSquared\": {\"ns_per_op\": 86970, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkWorkerGradient\": {\"ns_per_op\": 16889, \"allocs_per_op\": 1},\n"
+	printf "    \"BenchmarkRunEpoch\": {\"ns_per_op\": 1157558, \"allocs_per_op\": 147},\n"
+	printf "    \"BenchmarkLoss\": {\"ns_per_op\": 470318, \"allocs_per_op\": 0},\n"
+	printf "    \"BenchmarkPartition\": {\"ns_per_op\": 381.1, \"allocs_per_op\": 9},\n"
+	printf "    \"BenchmarkGenerateBinary\": {\"ns_per_op\": 6360742, \"allocs_per_op\": 4},\n"
+	printf "    \"cebench_all_serial_ms\": 7169,\n"
+	printf "    \"cebench_all_parallel_ms\": 7518\n"
 	printf "  },\n"
 	printf "  \"after\": {\n"
 	first = 1

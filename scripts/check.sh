@@ -30,13 +30,14 @@ go test -race \
 	./internal/lambda/... \
 	./internal/platform/livebackend/...
 go test -race -run 'TestCells|TestRunAll|Memo|Concurrent' \
-	./internal/experiments/ ./internal/cost/
+	./internal/experiments/ ./internal/cost/ ./internal/dataset/
 
 echo "== determinism gate (parallel == serial, kernel == reference heap)"
 go test -run 'TestParallelOutputsMatchSerial|TestRunAllPreservesRequestOrder' .
 go test -run 'TestKernelMatchesReferenceHeap|TestRunUntilNeverMovesClockBackwards' ./internal/sim/
 
-echo "== benchmark smoke (1 iteration)"
+echo "== benchmark smoke (sim/cost at 1x, numeric path at 100x, same as make bench)"
 go test -run '^$' -bench . -benchtime=1x ./internal/sim/ ./internal/cost/
+go test -run '^$' -bench . -benchmem -benchtime=100x ./internal/ml/ ./internal/dataset/
 
 echo "OK"
