@@ -1,17 +1,12 @@
 GO ?= go
 
-# Packages that run real goroutine concurrency (live substrate) and must
-# stay race-clean.
-RACE_PKGS := ./internal/distml/... ./internal/psnet/... ./internal/objstore/... \
-             ./internal/lambda/... ./internal/platform/livebackend/...
+.PHONY: check fmt vet build lint test race bench benchfull
 
-.PHONY: check fmt vet build test race bench benchfull
-
-check: fmt vet build test race
+check: fmt vet build lint test race
 
 fmt:
-	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -19,13 +14,17 @@ vet:
 build:
 	$(GO) build ./...
 
+# cescalint: the determinism-enforcing static-analysis suite (walltime,
+# globalrand, maporder, fpreduce, importboundary). Package sets live in
+# cescalint.policy; see DESIGN.md "Determinism invariants".
+lint:
+	$(GO) run ./cmd/cescalint ./...
+
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -run 'TestCells|TestRunAll|Memo|Concurrent' \
-		./internal/experiments/ ./internal/cost/ ./internal/dataset/
+	$(GO) test -race ./...
 
 # Smoke-run the numeric-path benchmarks (ml kernels, dataset caches, DES
 # kernel) at a fixed small iteration count: fast enough for CI, enough to

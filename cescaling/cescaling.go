@@ -30,7 +30,8 @@ import (
 	"repro/internal/cost"
 	"repro/internal/planner"
 	"repro/internal/platform"
-	"repro/internal/platform/livebackend"
+	"repro/internal/platform/livebackend" //cescalint:allow importboundary -- public facade: wires the live backend behind platform.Backend for NewLiveRunner
+
 	"repro/internal/predictor"
 	"repro/internal/sha"
 	"repro/internal/storage"

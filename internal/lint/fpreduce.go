@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FPReduce forbids scheduling-order-dependent floating-point reduction in
+// deterministic packages.
+//
+// Float addition is not associative, so `sum += x` is only deterministic
+// when the terms arrive in a fixed order. Two constructs break that: a
+// compound assignment to a shared float inside a `go func` closure (terms
+// arrive in goroutine-scheduling order) and one inside a map range (terms
+// arrive in randomized map order). The legal pattern — used throughout the
+// trainer and the experiment engine — reduces into per-index slots
+// (results[i] += ...) and sums the slots in a fixed serial loop; indexed
+// or field-projected accumulation is therefore exempt, only bare shared
+// scalars are flagged.
+var FPReduce = &Analyzer{
+	Name:  "fpreduce",
+	Doc:   "forbid shared float accumulation in goroutines and map iteration",
+	Scope: ScopeDeterministic,
+	Run:   runFPReduce,
+}
+
+func runFPReduce(p *Pass) {
+	inspectAll(p, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			if fl, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				checkFloatAccum(p, fl.Body, fl, "a goroutine closure: summation order follows the scheduler")
+			}
+		case *ast.RangeStmt:
+			if isMapType(p.Info, v.X) {
+				checkFloatAccum(p, v.Body, v, "a map iteration: summation order follows randomized map order")
+			}
+		}
+		return true
+	})
+}
+
+// checkFloatAccum flags compound float assignments to bare identifiers
+// declared outside owner.
+func checkFloatAccum(p *Pass, body *ast.BlockStmt, owner ast.Node, context string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			// Indexed slots (acc[i] += ...) are the sanctioned fixed-order
+			// reduction pattern; only a bare shared scalar is order-unsafe.
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			tv, ok := p.Info.Types[lhs]
+			if !ok || tv.Type == nil || !isFloat(tv.Type) {
+				continue
+			}
+			obj := objectOf(p.Info, id)
+			if obj == nil || declaredWithin(obj, owner) {
+				continue
+			}
+			p.Reportf(as.Pos(), "floating-point %s on %s (declared outside) inside %s; reduce into per-index slots and sum serially in fixed order", as.Tok, id.Name, context)
+		}
+		return true
+	})
+}

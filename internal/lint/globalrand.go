@@ -1,0 +1,55 @@
+package lint
+
+import "go/ast"
+
+// GlobalRand forbids the process-global math/rand generator everywhere.
+//
+// Package-level rand functions (rand.Intn, rand.Float64, rand.Perm, ...)
+// share one generator across every caller in the process, so any
+// reordering — a new goroutine, a test running first, a library drawing
+// one extra value — shifts the stream under every experiment. rand.Seed
+// is worse: it reseeds that shared stream for everyone. A seeded
+// *rand.Rand (or internal/sim's named streams) must be threaded
+// explicitly; constructing one (rand.New, rand.NewSource) and naming the
+// types stays legal.
+var GlobalRand = &Analyzer{
+	Name:  "globalrand",
+	Doc:   "forbid process-global math/rand functions and rand.Seed",
+	Scope: ScopeAll,
+	Run:   runGlobalRand,
+}
+
+// randOK lists the math/rand (and v2) names that do not touch the global
+// generator: explicit constructors and type names.
+var randOK = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"Rand":       true,
+	"Source":     true,
+	"Source64":   true,
+	"Zipf":       true,
+	"PCG":        true,
+	"ChaCha8":    true,
+}
+
+func runGlobalRand(p *Pass) {
+	inspectAll(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pkgSel(p.Info, sel)
+		if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") || randOK[name] {
+			return true
+		}
+		if name == "Seed" {
+			p.Reportf(sel.Pos(), "rand.Seed reseeds the process-global generator under every caller; construct a seeded *rand.Rand instead")
+		} else {
+			p.Reportf(sel.Pos(), "rand.%s draws from the process-global generator; thread a seeded *rand.Rand explicitly", name)
+		}
+		return true
+	})
+}

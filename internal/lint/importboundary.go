@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// ImportBoundary enforces the platform layering on deterministic packages.
+//
+// The PR1 refactor put a substrate-agnostic seam (internal/platform)
+// between the CE-scaling logic and where it runs; determinism of the sim
+// path depends on that seam staying sealed. Deterministic packages must
+// not import the live substrate (platform/livebackend, lambda, psnet,
+// objstore, distml — the policy's forbid list) nor reach for the host
+// (net, os): all time, randomness, and I/O arrive through injected
+// interfaces. Process output (os.Stdout, fmt.Print*) is reserved for the
+// policy's output set — the experiment renderers and commands — so every
+// byte on stdout has exactly one, auditable, producer.
+var ImportBoundary = &Analyzer{
+	Name:  "importboundary",
+	Doc:   "keep deterministic packages off the live substrate, the network, and process I/O",
+	Scope: ScopeDeterministic,
+	Run:   runImportBoundary,
+}
+
+func runImportBoundary(p *Pass) {
+	isOutput := p.Policy.IsOutput(p.Path)
+	for _, file := range p.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case p.Policy.ForbiddenImport(path):
+				p.Reportf(imp.Pos(), "deterministic package imports %s (live/external substrate); depend on internal/platform interfaces instead", path)
+			case path == "os" && !isOutput:
+				p.Reportf(imp.Pos(), "deterministic package imports os; process I/O is reserved for the policy's output packages")
+			}
+		}
+	}
+	if isOutput {
+		return
+	}
+	inspectAll(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pkgSel(p.Info, sel)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg == "os" && (name == "Stdout" || name == "Stderr" || name == "Stdin"):
+			p.Reportf(sel.Pos(), "os.%s in a deterministic package; only the policy's output packages touch process streams", name)
+		case pkg == "fmt" && strings.HasPrefix(name, "Print"):
+			p.Reportf(sel.Pos(), "fmt.%s writes to process stdout; deterministic packages return values and let an output package print", name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// moduleImporter resolves imports for type-checking without any network or
+// third-party machinery: standard-library packages come from the compiler's
+// export data (go/importer, "gc"), and packages inside this module are
+// parsed and type-checked from source, recursively, with results cached for
+// the whole run.
+type moduleImporter struct {
+	root   string // module root directory
+	module string // module path ("repro")
+	fset   *token.FileSet
+	std    types.Importer
+	pkgs   map[string]*types.Package
+}
+
+func newModuleImporter(root, module string, fset *token.FileSet) *moduleImporter {
+	return &moduleImporter{
+		root:   root,
+		module: module,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "gc", nil),
+		pkgs:   make(map[string]*types.Package),
+	}
+}
+
+func (m *moduleImporter) inModule(path string) bool {
+	return path == m.module || strings.HasPrefix(path, m.module+"/")
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if !m.inModule(path) {
+		return m.std.Import(path)
+	}
+	if pkg, ok := m.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(m.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, m.module), "/")))
+	files, err := m.parseDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	conf := types.Config{Importer: m}
+	pkg, err := conf.Check(path, m.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %w", path, err)
+	}
+	m.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one package directory, honouring
+// build constraints via go/build.
+func (m *moduleImporter) parseDir(dir string) ([]*ast.File, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(m.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder forbids map iteration whose body leaks Go's randomized map
+// order into observable output.
+//
+// Three body shapes are order-dependent: writing to a stream (fmt.Print*,
+// fmt.Fprint*, or any Write/WriteString-style method) emits rows in map
+// order; appending to a slice declared outside the loop freezes map order
+// into the slice; both put random order on stdout or into returned data.
+// The canonical fix is the sorted-keys idiom — collect keys, sort, range
+// over the sorted slice — and the analyzer recognizes it: an append whose
+// slice is passed to sort.*/slices.* later in the same block is exempt.
+var MapOrder = &Analyzer{
+	Name:  "maporder",
+	Doc:   "forbid map iteration that writes output or builds slices in map order",
+	Scope: ScopeAll,
+	Run:   runMapOrder,
+}
+
+// writeMethods are io.Writer-shaped method names that emit bytes in call
+// order.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+func runMapOrder(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, stmt := range list {
+				rs := asRange(stmt)
+				if rs == nil || !isMapType(p.Info, rs.X) {
+					continue
+				}
+				checkMapBody(p, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// stmtList returns n's statement list if n owns one.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch v := n.(type) {
+	case *ast.BlockStmt:
+		return v.List
+	case *ast.CaseClause:
+		return v.Body
+	case *ast.CommClause:
+		return v.Body
+	}
+	return nil
+}
+
+func asRange(s ast.Stmt) *ast.RangeStmt {
+	for {
+		switch v := s.(type) {
+		case *ast.RangeStmt:
+			return v
+		case *ast.LabeledStmt:
+			s = v.Stmt
+		default:
+			return nil
+		}
+	}
+}
+
+// checkMapBody flags order-dependent statements inside one map-range body.
+// following is the tail of the enclosing block after the range statement,
+// used to recognize the sorted-keys idiom.
+func checkMapBody(p *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := pkgSel(p.Info, v.Fun); ok && pkg == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Append")) {
+				p.Reportf(v.Pos(), "fmt.%s inside iteration over a map: rows come out in randomized map order; iterate sorted keys instead", name)
+				return true
+			}
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && writeMethods[sel.Sel.Name] {
+				if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					p.Reportf(v.Pos(), "%s call inside iteration over a map: bytes are emitted in randomized map order; iterate sorted keys instead", sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			checkMapAppend(p, rs, v, following)
+		}
+		return true
+	})
+}
+
+// checkMapAppend flags `outer = append(outer, ...)` inside a map range when
+// outer is declared outside the loop and never handed to sort.*/slices.*
+// afterwards in the same block.
+func checkMapAppend(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, following []ast.Stmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(p.Info, call) || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := objectOf(p.Info, id)
+		if obj == nil || declaredWithin(obj, rs) {
+			continue
+		}
+		if sortedLater(p, obj, following) {
+			continue
+		}
+		p.Reportf(as.Pos(), "append to %s (declared outside the loop) inside iteration over a map freezes randomized map order into the slice; collect keys, sort, then iterate", id.Name)
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedLater reports whether obj is used inside a call to the sort or
+// slices package in any of the following statements — the tail half of the
+// sorted-keys idiom.
+func sortedLater(p *Pass, obj types.Object, following []ast.Stmt) bool {
+	for _, stmt := range following {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, ok := pkgSel(p.Info, call.Fun)
+			if !ok || (pkg != "sort" && pkg != "slices") {
+				return true
+			}
+			ast.Inspect(call, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && objectOf(p.Info, id) == obj {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Policy declares which packages carry the determinism invariant and which
+// imports are off-limits inside them. It is loaded from a plain-text file
+// (cescalint.policy at the module root) so the package sets are reviewable
+// data, not code:
+//
+//	# comment
+//	deterministic repro/internal/sim
+//	deterministic repro/internal/platform/simbackend
+//	output        repro/internal/experiments
+//	forbid        repro/internal/lambda
+//	forbid        net
+//
+// Patterns are exact import paths, or a prefix ending in /... which matches
+// the path itself and everything below it. "forbid net" bans both "net" and
+// every "net/..." subpackage.
+type Policy struct {
+	deterministic []string
+	output        []string
+	forbidden     []string
+}
+
+// IsDeterministic reports whether pkg is in the deterministic set: packages
+// whose observable behaviour must be bit-identical run to run, at any
+// parallelism, on any host.
+func (p *Policy) IsDeterministic(pkg string) bool { return matchAny(p.deterministic, pkg) }
+
+// IsOutput reports whether pkg may perform process I/O (os.Stdout,
+// os.Stderr, fmt.Print*). Only the experiment renderers and commands
+// qualify; everything else returns values and lets callers print.
+func (p *Policy) IsOutput(pkg string) bool { return matchAny(p.output, pkg) }
+
+// ForbiddenImport reports whether importPath may not be imported from a
+// deterministic package. "forbid net" covers "net" and all "net/..."
+// subpackages.
+func (p *Policy) ForbiddenImport(importPath string) bool {
+	for _, f := range p.forbidden {
+		base := strings.TrimSuffix(f, "/...")
+		if importPath == base || strings.HasPrefix(importPath, base+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func matchAny(patterns []string, pkg string) bool {
+	for _, pat := range patterns {
+		if base, ok := strings.CutSuffix(pat, "/..."); ok {
+			if pkg == base || strings.HasPrefix(pkg, base+"/") {
+				return true
+			}
+		} else if pkg == pat {
+			return true
+		}
+	}
+	return false
+}
+
+// ParsePolicy parses policy text. name is used in error messages only.
+func ParsePolicy(data []byte, name string) (*Policy, error) {
+	p := &Policy{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<keyword> <package-pattern>\", got %q", name, i+1, line)
+		}
+		switch fields[0] {
+		case "deterministic":
+			p.deterministic = append(p.deterministic, fields[1])
+		case "output":
+			p.output = append(p.output, fields[1])
+		case "forbid":
+			p.forbidden = append(p.forbidden, fields[1])
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown keyword %q (want deterministic, output, or forbid)", name, i+1, fields[0])
+		}
+	}
+	return p, nil
+}
+
+// LoadPolicy reads and parses a policy file.
+func LoadPolicy(path string) (*Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePolicy(data, path)
+}

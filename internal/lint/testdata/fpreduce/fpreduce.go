@@ -1,0 +1,67 @@
+// Package fpreducetest seeds scheduling-order-dependent float reductions
+// for the fpreduce analyzer's golden test.
+package fpreducetest
+
+import "sync"
+
+// BadGoroutineSum races float addition order against the scheduler.
+func BadGoroutineSum(xs [][]float64) float64 {
+	var sum float64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, shard := range xs {
+		wg.Add(1)
+		go func(shard []float64) {
+			defer wg.Done()
+			local := 0.0
+			for _, x := range shard {
+				local += x
+			}
+			mu.Lock()
+			sum += local // finding: shared float += in goroutine
+			mu.Unlock()
+		}(shard)
+	}
+	wg.Wait()
+	return sum
+}
+
+// BadMapSum sums in randomized map order.
+func BadMapSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // finding: shared float += in map range
+	}
+	return sum
+}
+
+// LegalSlotted reduces into per-index slots, then sums serially in fixed
+// order — the sanctioned pattern, no findings.
+func LegalSlotted(xs [][]float64) float64 {
+	partial := make([]float64, len(xs))
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, x := range xs[i] {
+				partial[i] += x
+			}
+		}(i)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, p := range partial {
+		sum += p
+	}
+	return sum
+}
+
+// LegalIntCount is integer accumulation: associative, order-free.
+func LegalIntCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,25 @@
+// Package globalrandtest seeds process-global math/rand violations for the
+// globalrand analyzer's golden test.
+package globalrandtest
+
+import "math/rand"
+
+// Bad draws from (and reseeds) the process-global generator.
+func Bad(n int) int {
+	rand.Seed(42)           // finding: Seed
+	v := rand.Intn(n)       // finding: Intn
+	_ = rand.Float64()      // finding: Float64
+	rand.Shuffle(n, swap)   // finding: Shuffle
+	return v + rand.Int()%2 // finding: Int
+}
+
+func swap(i, j int) {}
+
+// Legal threads an explicitly seeded generator.
+func Legal(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// LegalType names the rand types without touching the global stream.
+func LegalType(r *rand.Rand, s rand.Source) {}

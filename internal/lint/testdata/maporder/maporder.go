@@ -1,0 +1,61 @@
+// Package maordertest seeds order-dependent map iterations for the
+// maporder analyzer's golden test.
+package maordertest
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BadPrint emits rows in randomized map order.
+func BadPrint(m map[string]int, w io.Writer) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // finding: Fprintf in map range
+	}
+}
+
+// BadBuilder streams bytes in randomized map order.
+func BadBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // finding: WriteString in map range
+	}
+	return b.String()
+}
+
+// BadAppend freezes map order into the returned slice.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // finding: append to outer slice, never sorted
+	}
+	return out
+}
+
+// LegalSortedKeys is the canonical sorted-keys idiom: the collected slice
+// is sorted before anyone iterates it, so no finding.
+func LegalSortedKeys(m map[string]int, w io.Writer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// LegalInnerAccum only touches state scoped inside the loop body.
+func LegalInnerAccum(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		n := 0
+		for _, v := range vs {
+			n += v
+		}
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,28 @@
+// Package walltimetest seeds wall-clock violations for the walltime
+// analyzer's golden test.
+package walltimetest
+
+import "time"
+
+// Clock is a stand-in for an injected deterministic clock.
+type Clock func() float64
+
+// Bad reads the wall clock three ways.
+func Bad() time.Duration {
+	start := time.Now()          // finding: Now
+	time.Sleep(time.Millisecond) // finding: Sleep
+	t := time.NewTimer(time.Second)
+	t.Stop()
+	return time.Since(start) // finding: Since
+}
+
+// Allowed carries a reasoned pragma, so it must not be reported.
+func Allowed() time.Time {
+	//cescalint:allow walltime -- seeded pragma: stderr-only diagnostic in the golden fixture
+	return time.Now()
+}
+
+// Legal uses only deterministic time arithmetic.
+func Legal(c Clock) time.Duration {
+	return time.Duration(c() * float64(time.Second))
+}

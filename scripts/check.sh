@@ -1,14 +1,16 @@
 #!/bin/sh
-# Full gate: formatting, vet, build, tests, and the race detector on every
-# package that runs real goroutine concurrency. Same steps as `make check`.
+# Full gate: formatting (with simplification), vet, build, the determinism
+# lint suite, shuffled tests, the race detector on the whole module, the
+# byte-identical-output gates, and a benchmark smoke run. Same steps as
+# `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
-out="$(gofmt -l .)"
+echo "== gofmt -s"
+out="$(gofmt -s -l .)"
 if [ -n "$out" ]; then
-	echo "gofmt needed on:"
+	echo "gofmt -s needed on:"
 	echo "$out"
 	exit 1
 fi
@@ -19,18 +21,14 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== go test"
-go test ./...
+echo "== cescalint (determinism lint, fails fast before tests)"
+go run ./cmd/cescalint ./...
 
-echo "== go test -race (live substrate + parallel engine)"
-go test -race \
-	./internal/distml/... \
-	./internal/psnet/... \
-	./internal/objstore/... \
-	./internal/lambda/... \
-	./internal/platform/livebackend/...
-go test -race -run 'TestCells|TestRunAll|Memo|Concurrent' \
-	./internal/experiments/ ./internal/cost/ ./internal/dataset/
+echo "== go test (shuffled, catches test-order dependence)"
+go test -shuffle=on ./...
+
+echo "== go test -race (whole module)"
+go test -race ./...
 
 echo "== determinism gate (parallel == serial, kernel == reference heap)"
 go test -run 'TestParallelOutputsMatchSerial|TestRunAllPreservesRequestOrder' .
