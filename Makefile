@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build lint test race bench benchfull
+.PHONY: check fmt vet build lint test race trace-check bench benchfull
 
-check: fmt vet build lint test race
+check: fmt vet build lint test race trace-check
 
 fmt:
 	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then \
@@ -25,6 +25,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# trace-check: the observability determinism gate. Runs one small figure
+# twice with -trace-out (serial, then 8-way parallel) and requires the
+# trace, metrics and stdout bytes to match exactly — and the stdout to match
+# a run with tracing off.
+trace-check:
+	sh scripts/trace_check.sh
 
 # Smoke-run the numeric-path benchmarks (ml kernels, dataset caches, DES
 # kernel) at a fixed small iteration count: fast enough for CI, enough to

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -46,6 +47,11 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run, post-GC) to this file")
 	tracefile := flag.String("trace", "", "write a runtime execution trace of the experiment run to this file")
+	// Deterministic observability: events are stamped with each cell's
+	// simulated clock and scopes export in sorted order, so the files are
+	// byte-identical at any -parallel level. Stdout is unaffected.
+	traceOut := flag.String("trace-out", "", "write the experiments' event trace to this file (.jsonl = JSON lines, else Chrome trace-event JSON for Perfetto)")
+	metricsOut := flag.String("metrics-out", "", "write the experiments' metrics snapshot to this JSON file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv|html] [-parallel P] <experiment-id>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
@@ -98,10 +104,23 @@ func run() int {
 		defer trace.Stop()
 	}
 
+	var collector *obs.Collector
+	if *traceOut != "" || *metricsOut != "" {
+		collector = obs.NewCollector()
+		experiments.SetCollector(collector)
+	}
+
 	experiments.SetParallelism(*parallel)
 	start := time.Now()
 	outcomes := experiments.RunAll(ids, *seed)
 	total := time.Since(start)
+
+	if collector != nil {
+		if err := exportCollector(collector, *traceOut, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: %v\n", err)
+			return 1
+		}
+	}
 
 	if *memprofile != "" {
 		// Stop the CPU-facing instrumentation windows at the run boundary so
@@ -156,4 +175,38 @@ func run() int {
 			len(ids), total.Round(time.Millisecond), experiments.Parallelism())
 	}
 	return exit
+}
+
+// exportCollector writes the merged per-cell trace and/or metrics files.
+func exportCollector(c *obs.Collector, tracePath, metricsPath string) error {
+	scopes := c.Scopes()
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f, tracePath, scopes); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cebench: wrote event trace (%d scopes) to %s\n", len(scopes), tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteMetricsJSON(f, scopes); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cebench: wrote metrics (%d scopes) to %s\n", len(scopes), metricsPath)
+	}
+	return nil
 }

@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"repro/cescaling"
+	"repro/internal/obs"
 	"repro/internal/platform/livebackend"
 )
 
@@ -110,12 +111,21 @@ func main() {
 		seed    = flag.Uint64("seed", 2023, "deterministic seed")
 		trace   = flag.String("trace", "", "run mode: also write the per-epoch trace to this CSV file")
 		backend = flag.String("backend", "sim", "run mode substrate: sim | live")
+		// Deterministic observability (tune and run modes): event traces are
+		// stamped with the simulated clock, so repeat runs with the same seed
+		// produce byte-identical files. Stdout is unaffected either way.
+		traceOut   = flag.String("trace-out", "", "write an event trace to this file (.jsonl = JSON lines, else Chrome trace-event JSON for Perfetto)")
+		metricsOut = flag.String("metrics-out", "", "write a metrics snapshot (counters/gauges/histograms) to this JSON file")
 	)
 	flag.Parse()
 
 	w, err := cescaling.ModelByName(*model)
 	if err != nil {
 		fatal(err)
+	}
+	var observer *obs.Observer
+	if *traceOut != "" || *metricsOut != "" {
+		observer = obs.New()
 	}
 	fw := cescaling.New(w)
 	enc := json.NewEncoder(os.Stdout)
@@ -139,7 +149,7 @@ func main() {
 		}
 
 	case "tune":
-		res, pl, err := fw.PlanHPT(*trials, *eta, *epochs, cescaling.Options{Budget: *budget, QoS: *qos, Seed: *seed})
+		res, pl, err := fw.PlanHPT(*trials, *eta, *epochs, cescaling.Options{Budget: *budget, QoS: *qos, Seed: *seed, Obs: observer})
 		if err != nil {
 			fatal(err)
 		}
@@ -187,6 +197,9 @@ func main() {
 		runner, err := cescaling.NewRunnerWithConfig(cescaling.Config{Backend: *backend, Seed: *seed})
 		if err != nil {
 			fatal(err)
+		}
+		if observer != nil {
+			runner.SetObserver(observer)
 		}
 		out, err := fw.Train(cescaling.Options{Budget: *budget, QoS: *qos, Seed: *seed}, runner)
 		if err != nil {
@@ -240,6 +253,47 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+
+	if observer != nil {
+		if err := exportObserver(observer, *traceOut, *metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exportObserver writes the collected trace and/or metrics files. Profile
+// and train modes run no instrumented work, so their files are valid but
+// empty.
+func exportObserver(o *obs.Observer, tracePath, metricsPath string) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteTrace(f, tracePath); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cescale: wrote event trace to %s\n", tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := o.WriteMetrics(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cescale: wrote metrics to %s\n", metricsPath)
+	}
+	return nil
 }
 
 func pickInitial(fw *cescaling.Framework, budget, qos float64, est int) (cescaling.Allocation, bool) {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/platform"
 	"repro/internal/predictor"
@@ -65,6 +66,12 @@ type Options struct {
 	// service (the Fig. 16-18 experiments).
 	PinStorage *platform.StorageKind
 
+	// Obs, when set, receives the planner's per-stage decisions and the
+	// scheduler's per-epoch Algorithm 2 decision log. Train and RunHPT fall
+	// back to the runner's observer when nil, so attaching a sink to the
+	// runner instruments the whole session.
+	Obs *obs.Observer
+
 	Seed uint64
 }
 
@@ -117,6 +124,7 @@ func (f *Framework) PlanHPT(trials, eta, epochsPerStage int, opt Options) (plann
 	if opt.Delta > 0 {
 		pl.Delta = opt.Delta
 	}
+	pl.Obs = opt.Obs
 	var res planner.Result
 	if opt.Budget > 0 {
 		res = pl.PlanMinJCT(opt.Budget)
@@ -129,6 +137,9 @@ func (f *Framework) PlanHPT(trials, eta, epochsPerStage int, opt Options) (plann
 // RunHPT plans and then executes the tuning workflow on the simulated
 // substrate, returning both the plan and the measured run.
 func (f *Framework) RunHPT(trials, eta, epochsPerStage int, opt Options, runner *trainer.Runner) (*TuneOutcome, error) {
+	if opt.Obs == nil {
+		opt.Obs = runner.Observer()
+	}
 	plan, pl, err := f.PlanHPT(trials, eta, epochsPerStage, opt)
 	if err != nil {
 		return nil, err
@@ -170,6 +181,7 @@ func (f *Framework) newSchedulerSession(opt Options) (*scheduler.Scheduler, cost
 		DelayedRestart: !opt.DisableDelayedRestart,
 		Offline:        predictor.NewOffline(f.Workload),
 		OfflineSeed:    opt.Seed,
+		Obs:            opt.Obs,
 	})
 	alloc, est := sched.Initial()
 	if alloc.N == 0 {
@@ -183,6 +195,9 @@ func (f *Framework) newSchedulerSession(opt Options) (*scheduler.Scheduler, cost
 func (f *Framework) Train(opt Options, runner *trainer.Runner) (*TrainOutcome, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
+	}
+	if opt.Obs == nil {
+		opt.Obs = runner.Observer()
 	}
 	sched, alloc, est, err := f.newSchedulerSession(opt)
 	if err != nil {

@@ -250,7 +250,7 @@ func ablPocket(seed uint64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := runCE(fw, core.Options{Budget: probe.budgetRef(), Seed: seed}, seed)
+		res, err := runCE(fw, core.Options{Budget: probe.budgetRef(), Seed: seed}, seed, "abl-pocket/"+w.Name+"/"+label)
 		if err != nil {
 			return nil, err
 		}

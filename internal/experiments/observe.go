@@ -1,0 +1,33 @@
+package experiments
+
+// Observability plumbing for the experiment engine. cmd/cebench installs a
+// collector before RunAll; every executed training cell then records its
+// trace and metrics into a scope named after the artifact and cell (e.g.
+// "fig12/LR-YFCC/Siren"). Scope names are unique per cell and each cell is
+// the sole writer of its scope, so the merged export stays byte-identical
+// at any engine parallelism.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/trainer"
+)
+
+// activeCollector is the engine-wide observability sink; nil means tracing
+// is off (the default) and every helper below is a no-op.
+var activeCollector atomic.Pointer[obs.Collector]
+
+// SetCollector points the training helpers' observability at c; nil
+// detaches. Install before RunAll — swapping mid-run would split a batch's
+// scopes across collectors.
+func SetCollector(c *obs.Collector) { activeCollector.Store(c) }
+
+// observed attaches the collector scope named name to r when collection is
+// on, and returns r so call sites can chain it around trainer.NewRunner.
+func observed(r *trainer.Runner, name string) *trainer.Runner {
+	if c := activeCollector.Load(); c != nil && name != "" {
+		r.SetObserver(c.Scope(name))
+	}
+	return r
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// runCollected runs experiment id with a fresh collector at engine
+// parallelism p and returns the rendered table plus the exported trace and
+// metrics bytes.
+func runCollected(t *testing.T, id string, seed uint64, p int) (table string, trace, metrics []byte) {
+	t.Helper()
+	withParallelism(t, p)
+	c := obs.NewCollector()
+	SetCollector(c)
+	t.Cleanup(func() { SetCollector(nil) })
+	tab, err := Run(id, seed)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	var tb, mb bytes.Buffer
+	if err := obs.WriteTrace(&tb, "trace.json", c.Scopes()); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if err := obs.WriteMetricsJSON(&mb, c.Scopes()); err != nil {
+		t.Fatalf("WriteMetricsJSON: %v", err)
+	}
+	return tab.String(), tb.Bytes(), mb.Bytes()
+}
+
+// The tentpole guarantee: the exported trace and metrics are byte-identical
+// whether the experiment matrix ran serially or on eight workers, and
+// collection does not perturb the table output.
+func TestTraceBytesIdenticalAcrossParallelism(t *testing.T) {
+	const id, seed = "fig21b", 7
+	serialTab, serialTrace, serialMetrics := runCollected(t, id, seed, 1)
+	parTab, parTrace, parMetrics := runCollected(t, id, seed, 8)
+
+	if serialTab != parTab {
+		t.Errorf("table output differs between -parallel 1 and 8")
+	}
+	if !bytes.Equal(serialTrace, parTrace) {
+		t.Errorf("trace bytes differ between -parallel 1 and 8 (serial %d bytes, parallel %d bytes)",
+			len(serialTrace), len(parTrace))
+	}
+	if !bytes.Equal(serialMetrics, parMetrics) {
+		t.Errorf("metrics bytes differ between -parallel 1 and 8")
+	}
+
+	// Collection off entirely must not move the table either.
+	withParallelism(t, 8)
+	tab, err := Run(id, seed)
+	if err != nil {
+		t.Fatalf("Run(%s) without collector: %v", id, err)
+	}
+	if tab.String() != serialTab {
+		t.Errorf("table output differs with tracing off vs on")
+	}
+
+	// The trace must actually contain the instrumented layers.
+	for _, want := range []string{"fig21b/CE-scaling", `"cat":"scheduler"`, `"cat":"trainer"`, `"cat":"faas"`} {
+		if !strings.Contains(string(serialTrace), want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}

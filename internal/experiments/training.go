@@ -54,9 +54,10 @@ func trainRef(fw *core.Framework, seed uint64) (trainRefs, error) {
 	}, nil
 }
 
-// runCE runs CE-scaling training under opt.
-func runCE(fw *core.Framework, opt core.Options, runnerSeed uint64) (*trainer.Result, error) {
-	out, err := fw.Train(opt, trainer.NewRunner(runnerSeed))
+// runCE runs CE-scaling training under opt, recording into scope when the
+// engine has a collector installed.
+func runCE(fw *core.Framework, opt core.Options, runnerSeed uint64, scope string) (*trainer.Result, error) {
+	out, err := fw.Train(opt, observed(trainer.NewRunner(runnerSeed), scope))
 	if err != nil {
 		return nil, err
 	}
@@ -64,11 +65,11 @@ func runCE(fw *core.Framework, opt core.Options, runnerSeed uint64) (*trainer.Re
 }
 
 // runSiren runs the Siren baseline for the same workload/constraint.
-func runSiren(fw *core.Framework, budget, qos float64, seed uint64) (*trainer.Result, error) {
+func runSiren(fw *core.Framework, budget, qos float64, seed uint64, scope string) (*trainer.Result, error) {
 	w := fw.Workload
 	est := predictor.NewOffline(w).PredictEpochs(w.TargetLoss, seed)
 	siren := baselines.NewSirenTraining(fw.Full, budget, qos, est, seed)
-	r := trainer.NewRunner(seed + 1)
+	r := observed(trainer.NewRunner(seed+1), scope)
 	return r.Run(trainer.Config{
 		Workload:   w,
 		Engine:     w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
@@ -81,14 +82,14 @@ func runSiren(fw *core.Framework, budget, qos float64, seed uint64) (*trainer.Re
 
 // runModifiedCirrus runs the modified-Cirrus baseline (online prediction,
 // VM-PS pinned, immediate restarts).
-func runModifiedCirrus(fw *core.Framework, budget, qos float64, seed uint64) (*trainer.Result, error) {
+func runModifiedCirrus(fw *core.Framework, budget, qos float64, seed uint64, scope string) (*trainer.Result, error) {
 	w := fw.Workload
 	sched := baselines.ModifiedCirrus(fw.Model, fw.Full, budget, qos, w.TargetLoss, predictor.NewOffline(w), seed)
 	alloc, _ := sched.Initial()
 	if alloc.N == 0 {
 		return nil, fmt.Errorf("modified Cirrus: no feasible VM-PS allocation for %s", w.Name)
 	}
-	r := trainer.NewRunner(seed + 2)
+	r := observed(trainer.NewRunner(seed+2), scope)
 	return r.Run(trainer.Config{
 		Workload:   w,
 		Engine:     w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
@@ -104,16 +105,18 @@ var trainOrder = []string{"CE-scaling", "Siren", "Cirrus*"}
 // trainSystems runs the Fig. 12/13 system matrix for one model. The three
 // systems each build their own scheduler and Runner over the read-only
 // framework, so they run as parallel cells merged back in system order.
-func trainSystems(fw *core.Framework, budget, qos float64, seed uint64) (map[string]*trainer.Result, error) {
+// scope labels the matrix for trace collection; each system records under
+// scope/<system>.
+func trainSystems(fw *core.Framework, budget, qos float64, seed uint64, scope string) (map[string]*trainer.Result, error) {
 	runs := []struct {
 		name string
 		f    func() (*trainer.Result, error)
 	}{
 		{"CE", func() (*trainer.Result, error) {
-			return runCE(fw, core.Options{Budget: budget, QoS: qos, Seed: seed}, seed)
+			return runCE(fw, core.Options{Budget: budget, QoS: qos, Seed: seed}, seed, scope+"/CE-scaling")
 		}},
-		{"Siren", func() (*trainer.Result, error) { return runSiren(fw, budget, qos, seed) }},
-		{"Cirrus*", func() (*trainer.Result, error) { return runModifiedCirrus(fw, budget, qos, seed) }},
+		{"Siren", func() (*trainer.Result, error) { return runSiren(fw, budget, qos, seed, scope+"/Siren") }},
+		{"Cirrus*", func() (*trainer.Result, error) { return runModifiedCirrus(fw, budget, qos, seed, scope+"/Cirrus") }},
 	}
 	results, err := cells(len(runs), func(i int) (*trainer.Result, error) {
 		r, err := runs[i].f()
@@ -144,7 +147,7 @@ func fig12(seed uint64) (*Table, error) {
 			return nil, fmt.Errorf("%s probe: %w", w.Name, err)
 		}
 		budget := probe.budgetRef()
-		runs, err := trainSystems(fw, budget, 0, seed)
+		runs, err := trainSystems(fw, budget, 0, seed, "fig12/"+w.Name)
 		if err != nil {
 			return nil, cellErr(w.Name, err)
 		}
@@ -186,7 +189,7 @@ func fig13(seed uint64) (*Table, error) {
 			return nil, err
 		}
 		qos := probe.qosRef()
-		runs, err := trainSystems(fw, 0, qos, seed)
+		runs, err := trainSystems(fw, 0, qos, seed, "fig13/"+w.Name)
 		if err != nil {
 			return nil, cellErr(w.Name, err)
 		}
@@ -226,7 +229,7 @@ func fig15(seed uint64) (*Table, error) {
 		Notes:   "multiples of the geometric-mean reference constraints",
 	}
 	for _, mult := range []float64{0.6, 0.8, 1.0, 1.4} {
-		runs, err := trainSystems(fw, probe.budgetRef()*mult, 0, seed)
+		runs, err := trainSystems(fw, probe.budgetRef()*mult, 0, seed, fmt.Sprintf("fig15/budget-%.1fx", mult))
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +241,7 @@ func fig15(seed uint64) (*Table, error) {
 		}
 	}
 	for _, mult := range []float64{0.6, 0.8, 1.0, 1.4} {
-		runs, err := trainSystems(fw, 0, probe.qosRef()*mult, seed)
+		runs, err := trainSystems(fw, 0, probe.qosRef()*mult, seed, fmt.Sprintf("fig15/qos-%.1fx", mult))
 		if err != nil {
 			return nil, err
 		}
@@ -272,20 +275,20 @@ func fig17(seed uint64) (*Table, error) {
 	blocks, err := cells(len(kinds), func(ki int) ([][]string, error) {
 		kind := kinds[ki]
 		k := kind
-		ce, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed)
+		ce, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed, "fig17/"+kind.Short()+"/CE-scaling")
 		if err != nil {
 			return nil, err
 		}
 		// Siren keeps its per-epoch restart behaviour on the pinned set.
 		sirEst := predictor.NewOffline(w).PredictEpochs(w.TargetLoss, seed)
-		sir, err := runSirenPinned(fw, baselines.FilterByStorage(fw.Full, kind), budget, sirEst, seed)
+		sir, err := runSirenPinned(fw, baselines.FilterByStorage(fw.Full, kind), budget, sirEst, seed, "fig17/"+kind.Short()+"/Siren")
 		if err != nil {
 			return nil, err
 		}
 		// Cirrus: online prediction, immediate restarts, pinned storage.
 		cirSched := baselines.ModifiedCirrusPinned(fw.Model, fw.Full, kind, budget, 0, w.TargetLoss, predictor.NewOffline(w), seed)
 		cirAlloc, _ := cirSched.Initial()
-		r := trainer.NewRunner(seed + 5)
+		r := observed(trainer.NewRunner(seed+5), "fig17/"+kind.Short()+"/Cirrus")
 		cir, err := r.Run(trainer.Config{
 			Workload: w, Engine: w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
 			Alloc: cirAlloc, TargetLoss: w.TargetLoss, MaxEpochs: 2000,
@@ -318,10 +321,10 @@ func fig17(seed uint64) (*Table, error) {
 
 // runSirenPinned reproduces Siren's per-epoch adjustment behaviour over an
 // arbitrary pinned candidate set (used when Fig. 17 pins Siren to VM-PS).
-func runSirenPinned(fw *core.Framework, pts []cost.Point, budget float64, est int, seed uint64) (*trainer.Result, error) {
+func runSirenPinned(fw *core.Framework, pts []cost.Point, budget float64, est int, seed uint64, scope string) (*trainer.Result, error) {
 	w := fw.Workload
 	siren := baselines.NewSirenTrainingUnfiltered(pts, budget, 0, est, seed)
-	r := trainer.NewRunner(seed + 4)
+	r := observed(trainer.NewRunner(seed+4), scope)
 	return r.Run(trainer.Config{
 		Workload:   w,
 		Engine:     w.NewEngine(workload.Hyperparams{LR: w.DefaultLR}, seed),
@@ -356,7 +359,7 @@ func fig18(seed uint64) (*Table, error) {
 			if !fw.Model.Service(kind).Supports(w.ParamsMB) {
 				return []string{w.Name, kind.Short(), "N/A", "N/A", "N/A", "N/A"}, nil
 			}
-			r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed+uint64(kind))
+			r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, PinStorage: &k}, seed+uint64(kind), "fig18/"+w.Name+"/"+kind.Short())
 			if err != nil {
 				return nil, fmt.Errorf("%s/%v: %w", w.Name, kind, err)
 			}
@@ -400,7 +403,7 @@ func fig21b(seed uint64) (*Table, error) {
 	}
 	rows, err := cells(len(variants), func(i int) ([]string, error) {
 		v := variants[i]
-		r, err := runCE(fw, v.opt, seed)
+		r, err := runCE(fw, v.opt, seed, "fig21b/"+v.name)
 		if err != nil {
 			return nil, cellErr(v.name, err)
 		}
@@ -439,7 +442,7 @@ func fig21c(seed uint64) (*Table, error) {
 	deltas := []float64{0.01, 0.05, 0.1, 0.15, 0.2}
 	rows, err := cells(len(deltas), func(i int) ([]string, error) {
 		delta := deltas[i]
-		r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, Delta: delta}, seed)
+		r, err := runCE(fw, core.Options{Budget: budget, Seed: seed, Delta: delta}, seed, fmt.Sprintf("fig21c/delta-%.2f", delta))
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/pricing"
 	"repro/internal/sim"
 )
@@ -76,6 +77,10 @@ func DefaultStartup() StartupModel {
 // the account concurrency cap.
 var ErrConcurrencyExceeded = errors.New("faas: concurrency limit exceeded")
 
+// ErrWarmPoolExceeded is returned when Prewarm would grow the warm pool past
+// the platform's warm-environment cap.
+var ErrWarmPoolExceeded = errors.New("faas: warm pool limit exceeded")
+
 // Meter accumulates the platform bill.
 type Meter struct {
 	Invocations uint64
@@ -86,6 +91,87 @@ type Meter struct {
 
 // Total returns the platform bill so far.
 func (m *Meter) Total() float64 { return m.InvokeCost + m.ComputeCost }
+
+// expiryQueue holds the pending warm-sandbox reclaim events for one memory
+// size in schedule order. Reclaims fire in that same order (the TTL is
+// constant between schedule and fire in normal operation), so both consuming
+// a sandbox (takeWarm cancels the earliest reclaim) and a reclaim firing
+// remove the head: O(1) pops instead of the identity scan + element copy
+// that went quadratic under Prewarm-scale churn. The queue keeps a dead
+// prefix instead of re-slicing so pushes never mutate a shared backing array
+// out from under a previous slice header, and compacts once the prefix
+// dominates.
+type expiryQueue struct {
+	evs  []*sim.Event
+	head int
+}
+
+func (q *expiryQueue) len() int {
+	if q == nil {
+		return 0
+	}
+	return len(q.evs) - q.head
+}
+
+func (q *expiryQueue) push(ev *sim.Event) { q.evs = append(q.evs, ev) }
+
+// popHead removes and returns the earliest pending reclaim (nil if empty).
+func (q *expiryQueue) popHead() *sim.Event {
+	if q == nil || q.head >= len(q.evs) {
+		return nil
+	}
+	ev := q.evs[q.head]
+	q.evs[q.head] = nil
+	q.head++
+	q.maybeCompact()
+	return ev
+}
+
+// remove drops a fired reclaim event from the queue. The head is the common
+// case; if WarmTTL was lowered mid-run a later-scheduled reclaim can fire
+// before earlier ones, so fall back to a scan rather than blindly popping —
+// popping the wrong entry would leave this fired (and soon recycled) event
+// in the queue for takeWarm to Cancel later.
+func (q *expiryQueue) remove(ev *sim.Event) {
+	if q == nil {
+		return
+	}
+	if q.head < len(q.evs) && q.evs[q.head] == ev {
+		q.evs[q.head] = nil
+		q.head++
+		q.maybeCompact()
+		return
+	}
+	for j := q.head; j < len(q.evs); j++ {
+		if q.evs[j] == ev {
+			copy(q.evs[j:], q.evs[j+1:])
+			q.evs[len(q.evs)-1] = nil
+			q.evs = q.evs[:len(q.evs)-1]
+			return
+		}
+	}
+}
+
+// maybeCompact slides pending events to the front once the dead prefix is
+// both large and the majority of the slice, bounding memory at O(pending).
+func (q *expiryQueue) maybeCompact() {
+	if q.head >= 32 && q.head*2 >= len(q.evs) {
+		n := copy(q.evs, q.evs[q.head:])
+		clear(q.evs[n:])
+		q.evs = q.evs[:n]
+		q.head = 0
+	}
+}
+
+// cancelAll cancels every pending reclaim (used by DropWarm).
+func (q *expiryQueue) cancelAll() {
+	if q == nil {
+		return
+	}
+	for _, ev := range q.evs[q.head:] {
+		ev.Cancel()
+	}
+}
 
 // Platform is one simulated serverless region/account.
 type Platform struct {
@@ -99,13 +185,22 @@ type Platform struct {
 	// Zero disables expiry.
 	WarmTTL float64
 
-	inFlight int
-	warm     map[int]int // memory MB -> warm sandboxes available
+	// WarmLimit caps the total number of warm sandboxes Prewarm may
+	// provision across all memory sizes, so a planner bug cannot grow the
+	// pool (and the invoice) without bound. Defaults to
+	// Limits.MaxConcurrency; zero or negative disables the cap.
+	WarmLimit int
+
+	inFlight     int
+	peakInFlight int
+	warm         map[int]int // memory MB -> warm sandboxes available
+	warmTotal    int         // sum over warm, kept for O(1) cap checks
 	// expiry holds the scheduled reclaim events per memory size; each
 	// release schedules one reclaim WarmTTL later, so a sandbox unused for
 	// a full TTL disappears.
-	expiry map[int][]*sim.Event
+	expiry map[int]*expiryQueue
 	meter  Meter
+	obs    *obs.Observer
 }
 
 // DefaultWarmTTL is the idle lifetime of a warm sandbox (10 minutes,
@@ -116,9 +211,10 @@ const DefaultWarmTTL = 600
 func New(s *sim.Simulation, limits Limits, startup StartupModel, pb pricing.PriceBook) *Platform {
 	return &Platform{
 		sim: s, limits: limits, startup: startup, prices: pb,
-		WarmTTL: DefaultWarmTTL,
-		warm:    make(map[int]int),
-		expiry:  make(map[int][]*sim.Event),
+		WarmTTL:   DefaultWarmTTL,
+		WarmLimit: limits.MaxConcurrency,
+		warm:      make(map[int]int),
+		expiry:    make(map[int]*expiryQueue),
 	}
 }
 
@@ -126,6 +222,10 @@ func New(s *sim.Simulation, limits Limits, startup StartupModel, pb pricing.Pric
 func NewDefault(s *sim.Simulation) *Platform {
 	return New(s, DefaultLimits(), DefaultStartup(), pricing.Default())
 }
+
+// SetObserver attaches an observability sink. Events are stamped with the
+// simulation clock; a nil observer (the default) disables recording.
+func (p *Platform) SetObserver(o *obs.Observer) { p.obs = o }
 
 // Limits returns the platform's account limits.
 func (p *Platform) Limits() Limits { return p.limits }
@@ -138,6 +238,14 @@ func (p *Platform) InFlight() int { return p.inFlight }
 
 // WarmCount reports how many warm sandboxes exist for the given memory size.
 func (p *Platform) WarmCount(memMB int) int { return p.warm[memMB] }
+
+// WarmTotal reports how many warm sandboxes exist across all memory sizes.
+func (p *Platform) WarmTotal() int { return p.warmTotal }
+
+// PendingExpiries reports how many reclaim events are scheduled for the
+// given memory size (test/diagnostic hook; equals WarmCount while WarmTTL
+// is enabled and constant).
+func (p *Platform) PendingExpiries(memMB int) int { return p.expiry[memMB].len() }
 
 // Invocation describes one admitted function instance.
 type Invocation struct {
@@ -162,8 +270,12 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 			ErrConcurrencyExceeded, p.inFlight, n, p.limits.MaxConcurrency)
 	}
 	p.inFlight += n
+	if p.inFlight > p.peakInFlight {
+		p.peakInFlight = p.inFlight
+	}
 	rng := p.sim.Rand("faas.startup")
 	out := make([]Invocation, n)
+	cold := 0
 	for i := range out {
 		inv := Invocation{MemMB: memMB}
 		if p.warm[memMB] > 0 {
@@ -171,11 +283,30 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 			inv.StartDelay = p.startup.Warm
 		} else {
 			inv.Cold = true
+			cold++
 			inv.StartDelay = p.coldStart(memMB, rng)
 		}
 		out[i] = inv
 		p.meter.Invocations++
 		p.meter.InvokeCost += p.prices.FunctionInvoke
+	}
+	if p.obs.Enabled() {
+		st := p.obs.Stats()
+		st.Add("faas.invocations", float64(n))
+		st.Add("faas.cold_starts", float64(cold))
+		st.Add("faas.warm_starts", float64(n-cold))
+		st.Add("faas.invoke_cost", float64(n)*p.prices.FunctionInvoke)
+		st.Set("faas.in_flight", float64(p.inFlight))
+		st.SetMax("faas.in_flight_peak", float64(p.peakInFlight))
+		st.Set("faas.warm_total", float64(p.warmTotal))
+		for _, inv := range out {
+			if inv.Cold {
+				st.Observe("faas.cold_start_s", inv.StartDelay)
+			}
+		}
+		p.obs.Trace().InstantAt(float64(p.sim.Now()), "faas", "faas", "invoke_group",
+			obs.I("n", n), obs.I("mem_mb", memMB), obs.I("cold", cold),
+			obs.I("in_flight", p.inFlight), obs.I("cap", p.limits.MaxConcurrency))
 	}
 	return out, nil
 }
@@ -183,34 +314,38 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 // takeWarm consumes one warm sandbox and cancels its pending reclaim.
 func (p *Platform) takeWarm(memMB int) {
 	p.warm[memMB]--
-	if evs := p.expiry[memMB]; len(evs) > 0 {
-		evs[0].Cancel()
-		p.expiry[memMB] = evs[1:]
+	p.warmTotal--
+	if ev := p.expiry[memMB].popHead(); ev != nil {
+		ev.Cancel()
 	}
 }
 
 // addWarm returns sandboxes to the pool and schedules their idle reclaim.
 func (p *Platform) addWarm(memMB, n int) {
 	p.warm[memMB] += n
+	p.warmTotal += n
 	if p.WarmTTL <= 0 {
 		return
+	}
+	q := p.expiry[memMB]
+	if q == nil {
+		q = &expiryQueue{}
+		p.expiry[memMB] = q
 	}
 	for i := 0; i < n; i++ {
 		var ev *sim.Event
 		ev = p.sim.ScheduleAfter(p.WarmTTL, func() {
 			if p.warm[memMB] > 0 {
 				p.warm[memMB]--
+				p.warmTotal--
 			}
-			// Drop the fired event from the pending list.
-			evs := p.expiry[memMB]
-			for j, e := range evs {
-				if e == ev {
-					p.expiry[memMB] = append(evs[:j], evs[j+1:]...)
-					break
-				}
+			p.expiry[memMB].remove(ev)
+			if p.obs.Enabled() {
+				p.obs.Stats().Inc("faas.warm_expired")
+				p.obs.Stats().Set("faas.warm_total", float64(p.warmTotal))
 			}
 		})
-		p.expiry[memMB] = append(p.expiry[memMB], ev)
+		q.push(ev)
 	}
 }
 
@@ -244,6 +379,14 @@ func (p *Platform) ReleaseGroup(n, memMB int, secondsEach float64) {
 	p.inFlight -= n
 	p.addWarm(memMB, n)
 	p.BillCompute(n, memMB, secondsEach)
+	if p.obs.Enabled() {
+		st := p.obs.Stats()
+		st.Set("faas.in_flight", float64(p.inFlight))
+		st.Set("faas.warm_total", float64(p.warmTotal))
+		p.obs.Trace().InstantAt(float64(p.sim.Now()), "faas", "faas", "release_group",
+			obs.I("n", n), obs.I("mem_mb", memMB), obs.F("seconds_each", secondsEach),
+			obs.I("in_flight", p.inFlight), obs.I("warm_total", p.warmTotal))
+	}
 }
 
 // BillCompute charges compute time for n functions of memMB that each ran
@@ -255,12 +398,19 @@ func (p *Platform) BillCompute(n, memMB int, secondsEach float64) {
 	}
 	cost := float64(n) * p.prices.ComputeOnlyCost(secondsEach, float64(memMB))
 	p.meter.ComputeCost += cost
-	p.meter.GBSeconds += float64(n) * secondsEach * float64(memMB) / 1024
+	gbs := float64(n) * secondsEach * float64(memMB) / 1024
+	p.meter.GBSeconds += gbs
+	if p.obs.Enabled() {
+		p.obs.Stats().Add("faas.gb_seconds", gbs)
+		p.obs.Stats().Add("faas.compute_cost", cost)
+	}
 }
 
 // Prewarm provisions n warm sandboxes of memMB (the greedy planner pre-warms
 // the next SHA stage's functions while the current stage runs). Prewarming
-// charges invocation fees but no compute.
+// charges invocation fees but no compute. The pool is capped at WarmLimit
+// total sandboxes: exceeding it returns ErrWarmPoolExceeded and provisions
+// nothing.
 func (p *Platform) Prewarm(n, memMB int) error {
 	if err := p.limits.ValidateMemory(memMB); err != nil {
 		return err
@@ -268,17 +418,32 @@ func (p *Platform) Prewarm(n, memMB int) error {
 	if n <= 0 {
 		return nil
 	}
+	if p.WarmLimit > 0 && p.warmTotal+n > p.WarmLimit {
+		return fmt.Errorf("%w: %d warm + %d requested > %d",
+			ErrWarmPoolExceeded, p.warmTotal, n, p.WarmLimit)
+	}
 	p.addWarm(memMB, n)
 	p.meter.Invocations += uint64(n)
 	p.meter.InvokeCost += float64(n) * p.prices.FunctionInvoke
+	if p.obs.Enabled() {
+		st := p.obs.Stats()
+		st.Add("faas.invocations", float64(n))
+		st.Add("faas.prewarmed", float64(n))
+		st.Add("faas.invoke_cost", float64(n)*p.prices.FunctionInvoke)
+		st.Set("faas.warm_total", float64(p.warmTotal))
+		p.obs.Trace().InstantAt(float64(p.sim.Now()), "faas", "faas", "prewarm",
+			obs.I("n", n), obs.I("mem_mb", memMB), obs.I("warm_total", p.warmTotal))
+	}
 	return nil
 }
 
 // DropWarm evicts warm sandboxes immediately and cancels their reclaims.
 func (p *Platform) DropWarm(memMB int) {
+	p.warmTotal -= p.warm[memMB]
 	delete(p.warm, memMB)
-	for _, ev := range p.expiry[memMB] {
-		ev.Cancel()
-	}
+	p.expiry[memMB].cancelAll()
 	delete(p.expiry, memMB)
+	if p.obs.Enabled() {
+		p.obs.Stats().Set("faas.warm_total", float64(p.warmTotal))
+	}
 }

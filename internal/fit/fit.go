@@ -299,15 +299,26 @@ func solveDamped(a [][]float64, b []float64, lambda float64) ([]float64, bool) {
 	return x, true
 }
 
+// MaxSolvableX bounds what SolveForX will report as a meaningful epoch
+// count. A target epsilon above the asymptote c makes 1/(target-c) overflow
+// toward +Inf; anything beyond this bound is "the curve effectively never
+// gets there" and must be ok=false, not a non-finite value leaked to
+// callers whose contract promises a usable x.
+const MaxSolvableX = 1e9
+
 // SolveForX returns the smallest x >= 1 at which the fitted InverseLinear
 // curve reaches target, or ok=false when the curve never reaches it (target
-// at or below the asymptote c).
+// at or below the asymptote c) or only reaches it at an absurd x (target so
+// close to c that 1/(target-c) is non-finite or beyond MaxSolvableX).
 func SolveForX(params []float64, target float64) (float64, bool) {
 	a, b, c := params[0], params[1], params[2]
 	if target <= c || a <= 0 {
 		return 0, false
 	}
 	x := (1/(target-c) - b) / a
+	if math.IsNaN(x) || math.IsInf(x, 0) || x > MaxSolvableX {
+		return 0, false
+	}
 	if x < 1 {
 		x = 1
 	}

@@ -199,3 +199,54 @@ func TestSolveDampedSingular(t *testing.T) {
 		t.Error("damping should regularize the zero matrix")
 	}
 }
+
+// TestSolveForXDegenerateTargetNearAsymptote is the regression test for the
+// (+Inf, true) leak: a target epsilon above the asymptote c makes
+// 1/(target-c) explode, and the pre-fix code returned that non-finite or
+// astronomically large x with ok=true, violating the "smallest x >= 1 or
+// ok=false" contract.
+func TestSolveForXDegenerateTargetNearAsymptote(t *testing.T) {
+	// c = 0 keeps a 1e-300 gap representable (for c = 0.5 it would round
+	// away below one ulp): 1/(target-c) = 1e300, an absurd finite x the
+	// pre-fix code returned with ok=true.
+	if x, ok := SolveForX([]float64{0.2, 1.0, 0}, 1e-300); ok {
+		t.Fatalf("target=c+1e-300 solved: x=%g, want ok=false", x)
+	}
+	// Subnormal gap: 1/(target-c) overflows to +Inf outright.
+	if x, ok := SolveForX([]float64{0.2, 1.0, 0}, 5e-324); ok {
+		t.Fatalf("target=c+5e-324 solved: x=%g, want ok=false", x)
+	}
+	p := []float64{0.2, 1.0, 0.5}
+	if x, ok := SolveForX(p, 0.5+1e-12); ok {
+		// 1/(1e-12) = 1e12 > MaxSolvableX: finite but absurd.
+		t.Fatalf("target=c+1e-12 solved: x=%g, want ok=false", x)
+	}
+	// Just inside the bound stays solvable and finite.
+	x, ok := SolveForX(p, 0.5+1e-6)
+	if !ok {
+		t.Fatal("reasonable target near asymptote must stay solvable")
+	}
+	if math.IsInf(x, 0) || math.IsNaN(x) || x > MaxSolvableX || x < 1 {
+		t.Fatalf("solved x=%g outside (1, MaxSolvableX]", x)
+	}
+}
+
+// TestSolveForXAlwaysFiniteProperty: for any parameters and target, SolveForX
+// either fails or returns a finite x in [1, MaxSolvableX].
+func TestSolveForXAlwaysFiniteProperty(t *testing.T) {
+	if err := quick.Check(func(ar, br, cr uint16, exp uint8) bool {
+		a := float64(ar) / 65535
+		b := float64(br) / 65535 * 5
+		c := float64(cr) / 65535
+		// Sweep the target gap across 40 orders of magnitude down to
+		// denormal range.
+		gap := math.Pow(10, -float64(exp%40))
+		x, ok := SolveForX([]float64{a, b, c}, c+gap)
+		if !ok {
+			return true
+		}
+		return !math.IsNaN(x) && !math.IsInf(x, 0) && x >= 1 && x <= MaxSolvableX
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -74,6 +75,11 @@ type Planner struct {
 	// Evaluated counts candidate evaluations (the scheduling-overhead
 	// metric of §IV-G).
 	Evaluated int
+
+	// Obs, when set, records each plan's per-stage allocation decisions
+	// and summary as trace events (timestamped by stage index — plans are
+	// structural, not temporal). Nil disables recording.
+	Obs *obs.Observer
 }
 
 // New returns a planner over the model's Pareto set for the given stages.
@@ -484,7 +490,34 @@ func (pl *Planner) greedy(budget, qos float64) Result {
 		best.Feasible = true
 	}
 	best.Evaluated = pl.Evaluated - evalStart
+	pl.logPlan(minJCT, budget, qos, best)
 	return best
+}
+
+// logPlan records the chosen plan: one instant per stage (timestamped by
+// stage index) with the allocation assigned to it, plus a summary carrying
+// the objective, constraint and evaluation count.
+func (pl *Planner) logPlan(minJCT bool, budget, qos float64, r Result) {
+	if !pl.Obs.Enabled() {
+		return
+	}
+	mode := "min-cost"
+	constraint := qos
+	if minJCT {
+		mode = "min-jct"
+		constraint = budget
+	}
+	for i, a := range r.Plan.Stages {
+		pl.Obs.Trace().InstantAt(float64(i), "planner", "planner", "stage_alloc",
+			obs.I("stage", i), obs.I("trials", pl.Stages[i].Trials), obs.I("epochs", pl.Stages[i].Epochs),
+			obs.I("n", a.N), obs.I("mem_mb", a.MemMB), obs.S("storage", a.Storage.String()))
+	}
+	pl.Obs.Trace().InstantAt(float64(len(r.Plan.Stages)), "planner", "planner", "plan",
+		obs.S("mode", mode), obs.F("constraint", constraint),
+		obs.F("jct", r.JCT), obs.F("cost", r.Cost),
+		obs.B("feasible", r.Feasible), obs.I("evaluated", r.Evaluated))
+	pl.Obs.Stats().Inc("planner.plans")
+	pl.Obs.Stats().Add("planner.evaluated", float64(r.Evaluated))
 }
 
 // bestMove evaluates moving each candidate stage one step along the Pareto

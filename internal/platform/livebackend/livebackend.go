@@ -37,6 +37,7 @@ import (
 	"repro/internal/distml"
 	"repro/internal/lambda"
 	"repro/internal/objstore"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/platform/simbackend"
 	"repro/internal/pricing"
@@ -85,6 +86,7 @@ type Backend struct {
 	objURL  string
 
 	start time.Time
+	obs   *obs.Observer
 
 	mu         sync.Mutex
 	groups     []*liveGroup
@@ -148,6 +150,36 @@ func (b *Backend) Name() string { return "live" }
 
 // ObjectStoreURL returns the HTTP address of the backing object store.
 func (b *Backend) ObjectStoreURL() string { return b.objURL }
+
+// SetObserver implements platform.Observable. Unlike the sim backend, live
+// events are stamped with wall-clock seconds since the backend started —
+// the substrate executes for real, so its traces record what actually
+// happened, when, and are NOT byte-identical across runs. The shadow
+// metering substrate stays unobserved to keep modeled and measured
+// timestamps out of the same scope.
+func (b *Backend) SetObserver(o *obs.Observer) { b.obs = o }
+
+// now is the wall-clock trace timestamp: seconds since the backend started.
+func (b *Backend) now() float64 { return time.Since(b.start).Seconds() }
+
+// observeStats copies the substrate's cumulative counters into the
+// observer's metrics so an exported snapshot reflects the real work done.
+func (b *Backend) observeStats() {
+	if !b.obs.Enabled() {
+		return
+	}
+	s := b.Stats()
+	st := b.obs.Stats()
+	st.Set("live.invocations", float64(s.Invocations))
+	st.Set("live.cold_starts", float64(s.ColdStarts))
+	st.Set("live.epoch_barriers", float64(s.EpochBarriers))
+	st.Set("live.ps_rounds", float64(s.PSRounds))
+	st.Set("live.obj_puts", float64(s.ObjPuts))
+	st.Set("live.obj_gets", float64(s.ObjGets))
+	os := b.obj.Stats()
+	st.Set("live.obj_bytes_in", float64(os.BytesIn))
+	st.Set("live.obj_bytes_out", float64(os.BytesOut))
+}
 
 // Stats summarizes the real work the substrate performed.
 type Stats struct {
@@ -377,6 +409,7 @@ func (b *Backend) spawnGroup(n, memMB int) error {
 		}()
 	}
 
+	spawnStart := b.now()
 	timeout := time.After(b.cfg.SpawnTimeout)
 	for entered := 0; entered < n; {
 		select {
@@ -391,6 +424,11 @@ func (b *Backend) spawnGroup(n, memMB int) error {
 			g.shutdown()
 			return fmt.Errorf("livebackend: group (n=%d mem=%dMB) not live after %s", n, memMB, b.cfg.SpawnTimeout)
 		}
+	}
+	if b.obs.Enabled() {
+		b.obs.Trace().SpanAt(spawnStart, b.now()-spawnStart, "live", "live", "group_spawn",
+			obs.I("group", g.id), obs.I("n", n), obs.I("mem_mb", memMB))
+		b.obs.Stats().Inc("live.group_spawns")
 	}
 	return nil
 }
@@ -439,10 +477,23 @@ func (b *Backend) releaseGroup(n, memMB int) {
 		return
 	}
 	b.removeGroup(g)
+	var wire psnet.WireStats
+	if g.ps != nil {
+		wire = g.ps.WireStats()
+	}
 	rounds := g.shutdown()
 	b.mu.Lock()
 	b.psRounds += rounds
 	b.mu.Unlock()
+	if b.obs.Enabled() {
+		b.obs.Trace().InstantAt(b.now(), "live", "live", "group_release",
+			obs.I("group", g.id), obs.I("n", n), obs.I("mem_mb", memMB), obs.I("ps_rounds", rounds))
+		st := b.obs.Stats()
+		st.Inc("live.group_releases")
+		st.Add("live.ps_bytes_in", float64(wire.BytesIn))
+		st.Add("live.ps_bytes_out", float64(wire.BytesOut))
+		b.observeStats()
+	}
 }
 
 // shutdown stops the group's workers and its parameter server, returning the
@@ -474,6 +525,7 @@ func (b *Backend) RunEpoch(n, memMB int, kind platform.StorageKind) error {
 	}
 	g.epoch++
 	cmd := epochCmd{kind: kind, model: model, epoch: g.epoch}
+	barrierStart := b.now()
 	for i := 0; i < g.n; i++ {
 		g.cmds[i] <- cmd
 	}
@@ -486,6 +538,13 @@ func (b *Backend) RunEpoch(n, memMB int, kind platform.StorageKind) error {
 	b.mu.Lock()
 	b.barriers++
 	b.mu.Unlock()
+	if b.obs.Enabled() {
+		dur := b.now() - barrierStart
+		b.obs.Trace().SpanAt(barrierStart, dur, "live", "live", "epoch_barrier",
+			obs.I("group", g.id), obs.I("n", n), obs.I("mem_mb", memMB),
+			obs.S("storage", kind.String()), obs.I("epoch", g.epoch))
+		b.obs.Stats().Observe("live.barrier_s", dur)
+	}
 	return firstErr
 }
 

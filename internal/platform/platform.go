@@ -20,6 +20,7 @@
 package platform
 
 import (
+	"repro/internal/obs"
 	"repro/internal/pricing"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -172,6 +173,22 @@ type GroupRunner interface {
 	// RunEpoch drives one epoch barrier across the group serving allocation
 	// (n, memMB), using kind's wire pattern for the synchronization.
 	RunEpoch(n, memMB int, kind StorageKind) error
+}
+
+// Observable is optionally implemented by backends that can record into an
+// observability sink. Simulated backends stamp events with the DES clock
+// (deterministic, byte-identical traces); the live backend stamps with
+// seconds since it started.
+type Observable interface {
+	SetObserver(*obs.Observer)
+}
+
+// Attach points b's observability at o if the backend supports it; it is a
+// no-op otherwise. A nil o detaches.
+func Attach(b Backend, o *obs.Observer) {
+	if ob, ok := b.(Observable); ok {
+		ob.SetObserver(o)
+	}
 }
 
 // Closer is optionally implemented by backends holding real resources

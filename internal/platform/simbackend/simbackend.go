@@ -7,6 +7,7 @@ package simbackend
 
 import (
 	"repro/internal/faas"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/pricing"
 	"repro/internal/sim"
@@ -20,6 +21,7 @@ type Backend struct {
 	store    *storage.Store
 	prices   pricing.PriceBook
 	services map[storage.Kind]*storage.Service
+	obs      *obs.Observer
 
 	compute simCompute
 	params  simParams
@@ -65,6 +67,14 @@ func (b *Backend) Prices() pricing.PriceBook { return b.prices }
 
 // Name implements platform.Backend.
 func (b *Backend) Name() string { return "sim" }
+
+// SetObserver implements platform.Observable: the serverless platform's
+// events/metrics and the parameter-store operation counters all record into
+// o, stamped with the DES clock.
+func (b *Backend) SetObserver(o *obs.Observer) {
+	b.obs = o
+	b.plat.SetObserver(o)
+}
 
 // Sim exposes the discrete-event kernel for drivers that schedule their own
 // events on the shared virtual clock (the multi-tenant cluster scheduler).
@@ -128,11 +138,19 @@ func (p simParams) Service(kind platform.StorageKind) platform.StorageService {
 
 func (p simParams) Put(key string, vec []float64) error {
 	p.b.store.Put(key, vec)
+	if p.b.obs.Enabled() {
+		p.b.obs.Stats().Inc("store.puts")
+		p.b.obs.Stats().Add("store.put_floats", float64(len(vec)))
+	}
 	return nil
 }
 
 func (p simParams) Get(key string) ([]float64, bool, error) {
 	vec, ok := p.b.store.Get(key)
+	if p.b.obs.Enabled() {
+		p.b.obs.Stats().Inc("store.gets")
+		p.b.obs.Stats().Add("store.get_floats", float64(len(vec)))
+	}
 	return vec, ok, nil
 }
 

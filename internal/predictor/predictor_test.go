@@ -218,3 +218,67 @@ func TestCurveCaching(t *testing.T) {
 		t.Error("new observation should refresh the fit")
 	}
 }
+
+// TestDegenerateFitTargetJustAboveFloor is the predictor/scheduler-level
+// regression for the SolveForX (+Inf, true) leak. With plateaued losses and
+// a target an epsilon above the fitted floor, the pre-fix chain solved to an
+// astronomical epoch count that the clamps silently turned into "reachable
+// at the 8x-horizon cap" — the scheduler would then keep budgeting for a
+// target the curve never meets. Post-fix the degenerate solve reports
+// unreachable, matching the plateau.
+func TestDegenerateFitTargetJustAboveFloor(t *testing.T) {
+	o := NewOnline()
+	// Converged: the loss has flattened at ~0.6.
+	losses := []float64{1.0, 0.8, 0.7, 0.65, 0.62, 0.61, 0.605, 0.602, 0.601, 0.6005}
+	for i, y := range losses {
+		o.Observe(i+1, y)
+	}
+	params, ok := o.Curve()
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	// A 1e-12 gap is representable above a ~0.6 floor (1e-300 would round
+	// away) yet solves to ~1e12 epochs — absurd, and pre-fix reported it
+	// reachable at the clamped horizon.
+	target := params[2] + 1e-12
+	if total, ok := o.PredictTotalEpochs(target); ok {
+		t.Fatalf("epsilon-above-floor target on a plateau reported reachable: total=%d", total)
+	}
+	if rem, ok := o.PredictRemaining(target); ok {
+		t.Fatalf("epsilon-above-floor target on a plateau reported remaining=%d", rem)
+	}
+}
+
+// TestRemainingNeverNegativeOrHuge pins the bound the scheduler relies on:
+// whenever the predictor offers a remaining-epochs estimate, it is in
+// [0, 8x the observed horizon] — a degenerate fit must not leak a negative
+// or unbounded remaining into allocation selection.
+func TestRemainingNeverNegativeOrHuge(t *testing.T) {
+	curves := []func(e float64) float64{
+		func(e float64) float64 { return 1/(0.2*e+1) + 0.5 },      // clean descent
+		func(e float64) float64 { return 0.5 + 0.001/e },          // near-flat
+		func(e float64) float64 { return 0.6 + 0.2*math.Exp(-e) }, // fast plateau
+	}
+	for ci, f := range curves {
+		o := NewOnline()
+		for e := 1; e <= 12; e++ {
+			o.Observe(e, f(float64(e)))
+		}
+		params, ok := o.Curve()
+		if !ok {
+			continue
+		}
+		// Probe targets from comfortably reachable down to degenerate
+		// epsilon-above-floor.
+		for _, gap := range []float64{0.1, 1e-3, 1e-6, 1e-9, 1e-100, 1e-300} {
+			target := params[2] + gap
+			rem, ok := o.PredictRemaining(target)
+			if !ok {
+				continue
+			}
+			if rem < 0 || rem > 8*12 {
+				t.Fatalf("curve %d gap %g: remaining=%d outside [0, 96]", ci, gap, rem)
+			}
+		}
+	}
+}

@@ -59,7 +59,8 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed chan struct{}
 
-	pushes, pulls int64
+	pushes, pulls     int64
+	bytesIn, bytesOut int64
 }
 
 // NewServer returns a parameter server expecting `workers` BSP participants
@@ -135,6 +136,7 @@ func (s *Server) handle(req *Request) *Response {
 	defer s.mu.Unlock()
 	switch req.Op {
 	case OpInit:
+		s.bytesIn += 8 * int64(len(req.Vec))
 		if s.model == nil {
 			s.model = append([]float64(nil), req.Vec...)
 		}
@@ -145,10 +147,12 @@ func (s *Server) handle(req *Request) *Response {
 		if s.model == nil {
 			return &Response{Err: "model not initialized"}
 		}
+		s.bytesOut += 8 * int64(len(s.model))
 		return &Response{OK: true, Round: s.round, Vec: append([]float64(nil), s.model...)}
 
 	case OpPush:
 		s.pushes++
+		s.bytesIn += 8 * int64(len(req.Vec))
 		if s.model == nil {
 			return &Response{Err: "model not initialized"}
 		}
@@ -205,6 +209,20 @@ func (s *Server) Stats() (pushes, pulls int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pushes, s.pulls
+}
+
+// WireStats summarizes the server's traffic: request counts plus the
+// parameter-vector payload volume (8 bytes per float64; framing excluded).
+type WireStats struct {
+	Pushes, Pulls     int64
+	BytesIn, BytesOut int64
+}
+
+// WireStats returns a snapshot of the traffic counters.
+func (s *Server) WireStats() WireStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WireStats{Pushes: s.pushes, Pulls: s.pulls, BytesIn: s.bytesIn, BytesOut: s.bytesOut}
 }
 
 // Close stops the listener and waits for connections to drain. Blocked

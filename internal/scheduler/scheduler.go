@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/predictor"
 	"repro/internal/trainer"
 )
@@ -43,6 +44,10 @@ type Config struct {
 	Offline *predictor.Offline
 	// OfflineSeed seeds the offline sampling run.
 	OfflineSeed uint64
+	// Obs, when set, records the per-epoch decision log (observed loss,
+	// fitted prediction, drift vs δ, path taken, allocation chosen) as
+	// trace instants on the job's timeline. Nil disables recording.
+	Obs *obs.Observer
 }
 
 // Scheduler drives one training job. Create with New, obtain the initial
@@ -239,23 +244,34 @@ func (s *Scheduler) Controller() trainer.Controller {
 
 		if s.cfg.Budget > 0 && spent >= s.cfg.Budget {
 			dec.Stop = true
+			s.logDecision(elapsed, epoch, loss, 0, 0, "stop-budget", dec)
 			return dec
 		}
 
+		// path names the Alg. 2 branch this epoch took, for the decision log:
+		// no-prediction (line 8's fit not ready), within-delta (line 9 false),
+		// then for adjustments which selector produced the candidate —
+		// select (line 10), relax (the 1.15-stretched retry), or
+		// escalate-panic (constraint unmeetable under every candidate).
+		path := "no-prediction"
+		var drift float64
 		predicted, ok := s.online.PredictTotalEpochs(s.cfg.TargetLoss)
 		if ok {
-			drift := math.Abs(float64(predicted-s.lastPrediction)) / math.Max(float64(s.lastPrediction), 1)
+			path = "within-delta"
+			drift = math.Abs(float64(predicted-s.lastPrediction)) / math.Max(float64(s.lastPrediction), 1)
 			if drift > s.cfg.Delta || s.panicked {
 				s.lastPrediction = predicted
 				remaining := predicted - epoch
 				if remaining < 1 {
 					remaining = 1
 				}
+				path = "select"
 				next, found := s.selectBest(remaining, elapsed, spent)
 				if !found {
 					// Mild stretch before panicking: a noisy prediction
 					// that barely misses the constraint should not flap
 					// the job to an extreme allocation.
+					path = "relax"
 					next, found = s.selectBestRelaxed(remaining, elapsed, spent, 1.15)
 				}
 				if found {
@@ -268,6 +284,7 @@ func (s *Scheduler) Controller() trainer.Controller {
 					// panicked flag re-evaluates every epoch, so genuine
 					// pressure keeps escalating while a one-epoch fit
 					// wobble costs only one step.
+					path = "escalate-panic"
 					next = s.escalate()
 					found = true
 					s.panicked = true
@@ -282,6 +299,41 @@ func (s *Scheduler) Controller() trainer.Controller {
 			}
 		}
 		dec.PlanningSeconds = s.PlanningSeconds - planningBefore
+		s.logDecision(elapsed, epoch, loss, predicted, drift, path, dec)
 		return dec
+	}
+}
+
+// logDecision records one per-epoch decision-log instant: the Alg. 2 inputs
+// (observed loss, fitted total-epoch prediction, drift vs δ), the branch
+// taken, and the outcome (restart issued, allocation chosen). Timestamps
+// are on the job's own timeline (elapsed seconds), matching the trainer's
+// spans.
+func (s *Scheduler) logDecision(elapsed float64, epoch int, loss float64, predicted int, drift float64, path string, dec trainer.Decision) {
+	if !s.cfg.Obs.Enabled() {
+		return
+	}
+	restart := dec.NewAlloc != nil
+	args := []obs.Arg{
+		obs.I("epoch", epoch),
+		obs.F("loss", loss),
+		obs.I("predicted_total", predicted),
+		obs.F("drift", drift),
+		obs.F("delta", s.cfg.Delta),
+		obs.S("path", path),
+		obs.B("restart", restart),
+		obs.B("stop", dec.Stop),
+		obs.I("alloc_n", s.alloc.N),
+		obs.I("alloc_mem_mb", s.alloc.MemMB),
+		obs.S("alloc_storage", s.alloc.Storage.String()),
+	}
+	if restart {
+		args = append(args, obs.B("delayed", dec.Delayed))
+	}
+	s.cfg.Obs.Trace().InstantAt(elapsed, "scheduler", "scheduler", "decision", args...)
+	s.cfg.Obs.Stats().Inc("scheduler.decisions")
+	s.cfg.Obs.Stats().Inc("scheduler.path." + path)
+	if restart {
+		s.cfg.Obs.Stats().Inc("scheduler.restarts")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/platform/simbackend"
 	"repro/internal/pricing"
@@ -157,6 +158,11 @@ type Runner struct {
 	// the lease at job end is what stops the bill from accruing.
 	leases     map[platform.StorageKind]int
 	accruedSec map[platform.StorageKind]float64
+
+	// obs records the executor's trace (startup/epoch/restart spans, failure
+	// instants, delayed-restart overlap windows) on the job's own timeline.
+	// Nil disables recording.
+	obs *obs.Observer
 }
 
 // NewRunner returns a runner on a fresh simulated substrate with default
@@ -177,6 +183,17 @@ func NewRunnerOn(b platform.Backend) *Runner {
 		accruedSec: make(map[platform.StorageKind]float64),
 	}
 }
+
+// SetObserver attaches an observability sink to the runner and its backend:
+// trainer events land on the job timeline, substrate events (cold starts,
+// warm-pool churn) on the substrate clock. Nil detaches.
+func (r *Runner) SetObserver(o *obs.Observer) {
+	r.obs = o
+	platform.Attach(r.Backend, o)
+}
+
+// Observer returns the runner's observability sink (nil when detached).
+func (r *Runner) Observer() *obs.Observer { return r.obs }
 
 // Compute returns the substrate's function-execution interface.
 func (r *Runner) Compute() platform.Compute { return r.Backend.Compute() }
@@ -252,6 +269,9 @@ type state struct {
 	pendingSwitch *cost.Allocation
 	// pendingReady is the virtual time at which the delayed group is ready.
 	pendingReady float64
+	// pendingStart is the job clock when the delayed group began starting
+	// up (the left edge of the Fig. 8 overlap window in the trace).
+	pendingStart float64
 	clock        float64 // job-relative elapsed time
 	// held maps each manually-scaled service this job has provisioned to
 	// the job clock at acquisition (its lease on the hourly meter).
@@ -418,6 +438,16 @@ func (r *Runner) startGroup(st *state, a cost.Allocation, initial bool) error {
 	if initial {
 		st.res.StartupTime = start + load
 	}
+	if r.obs.Enabled() {
+		name := "startup"
+		if !initial {
+			name = "restart_startup"
+		}
+		r.obs.Trace().SpanAt(st.clock-(start+load), start+load, "job", "trainer", name,
+			obs.I("n", a.N), obs.I("mem_mb", a.MemMB), obs.S("storage", a.Storage.String()),
+			obs.F("start_s", start), obs.F("load_s", load))
+		r.obs.Stats().Observe("trainer.startup_s", start+load)
+	}
 	r.Compute().BillCompute(a.N, a.MemMB, load)
 	st.res.FunctionCost += float64(a.N) * r.Prices.ComputeOnlyCost(load, float64(a.MemMB))
 	st.res.InvokeCost += float64(a.N) * r.Prices.FunctionInvoke
@@ -470,6 +500,12 @@ func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 			st.res.OverheadTime += wasted + recover
 			st.res.FailureTime += wasted + recover
 			st.res.Failures++
+			if r.obs.Enabled() {
+				r.obs.Trace().InstantAt(st.clock, "job", "trainer", "failure",
+					obs.I("epoch", epoch), obs.F("wasted_s", wasted), obs.F("recover_s", recover))
+				r.obs.Stats().Inc("trainer.failures")
+				r.obs.Stats().Add("trainer.failure_s", wasted+recover)
+			}
 			r.Compute().BillCompute(a.N, a.MemMB, wasted)
 			spent := float64(a.N) * r.Prices.ComputeOnlyCost(wasted, float64(a.MemMB))
 			st.res.FunctionCost += spent
@@ -518,6 +554,17 @@ func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 	st.res.FunctionCost += funcCost
 	st.res.StorageCost += stoCost
 	st.res.TotalCost += funcCost + stoCost
+	if r.obs.Enabled() {
+		r.obs.Trace().SpanAt(st.clock-epochT, epochT, "job", "trainer", "epoch",
+			obs.I("epoch", epoch), obs.F("loss", loss),
+			obs.F("compute_s", computeT), obs.F("sync_s", syncT),
+			obs.I("n", a.N), obs.I("mem_mb", a.MemMB), obs.S("storage", a.Storage.String()))
+		r.obs.Stats().Inc("trainer.epochs")
+		r.obs.Stats().Observe("trainer.epoch_s", epochT)
+		r.obs.Stats().Observe("trainer.barrier_sync_s", syncT)
+		r.obs.Stats().Add("trainer.compute_s", computeT)
+		r.obs.Stats().Add("trainer.sync_s", syncT)
+	}
 
 	// Checkpoint the model state through storage at the epoch boundary
 	// (this is the state a restarted group resumes from).
@@ -547,9 +594,20 @@ func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 		handoff := r.Service(st.pendingSwitch.Storage).TransferTime(st.pendingSwitch.N, w.ParamsMB)
 		st.clock += handoff
 		st.res.OverheadTime += handoff
-		st.alloc = *st.pendingSwitch
+		next := *st.pendingSwitch
+		st.alloc = next
 		st.pendingSwitch = nil
 		st.res.Restarts++
+		if r.obs.Enabled() {
+			// The Fig. 8 overlap window: the new group's startup ran
+			// concurrently with the old group's epoch; only the residual
+			// (plus the model handoff) surfaced as overhead.
+			r.obs.Trace().SpanAt(st.pendingStart, st.clock-st.pendingStart, "job", "trainer", "restart_overlap",
+				obs.I("n", next.N), obs.I("mem_mb", next.MemMB), obs.S("storage", next.Storage.String()),
+				obs.F("residual_s", math.Max(residual, 0)), obs.F("handoff_s", handoff))
+			r.obs.Stats().Inc("trainer.delayed_takeovers")
+			r.obs.Stats().Add("trainer.restart_residual_s", math.Max(residual, 0))
+		}
 	}
 	return rep, nil
 }
@@ -635,7 +693,14 @@ func (r *Runner) applySwitch(st *state, next cost.Allocation, delayed bool) erro
 		}
 		load := r.loadTime(w, next)
 		st.pendingSwitch = &next
+		st.pendingStart = st.clock
 		st.pendingReady = st.clock + start + load
+		if r.obs.Enabled() {
+			r.obs.Trace().InstantAt(st.clock, "job", "trainer", "switch",
+				obs.I("n", next.N), obs.I("mem_mb", next.MemMB), obs.S("storage", next.Storage.String()),
+				obs.B("delayed", true), obs.F("ready_in_s", start+load))
+			r.obs.Stats().Inc("trainer.switches.delayed")
+		}
 		// The new group bills its load immediately; it runs concurrently
 		// with the old group's next epoch.
 		r.Compute().BillCompute(next.N, next.MemMB, load)
@@ -652,6 +717,12 @@ func (r *Runner) applySwitch(st *state, next cost.Allocation, delayed bool) erro
 	r.Compute().ReleaseGroup(st.alloc.N, st.alloc.MemMB, 0)
 	old := st.alloc
 	st.alloc = next
+	if r.obs.Enabled() {
+		r.obs.Trace().InstantAt(st.clock, "job", "trainer", "switch",
+			obs.I("n", next.N), obs.I("mem_mb", next.MemMB), obs.S("storage", next.Storage.String()),
+			obs.B("delayed", false))
+		r.obs.Stats().Inc("trainer.switches.immediate")
+	}
 	if err := r.startGroup(st, next, false); err != nil {
 		st.alloc = old
 		return err

@@ -34,6 +34,9 @@ echo "== determinism gate (parallel == serial, kernel == reference heap)"
 go test -run 'TestParallelOutputsMatchSerial|TestRunAllPreservesRequestOrder' .
 go test -run 'TestKernelMatchesReferenceHeap|TestRunUntilNeverMovesClockBackwards' ./internal/sim/
 
+echo "== trace-check (observability export byte-identical across -parallel)"
+sh scripts/trace_check.sh
+
 echo "== benchmark smoke (sim/cost at 1x, numeric path at 100x, same as make bench)"
 go test -run '^$' -bench . -benchtime=1x ./internal/sim/ ./internal/cost/
 go test -run '^$' -bench . -benchmem -benchtime=100x ./internal/ml/ ./internal/dataset/

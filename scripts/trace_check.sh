@@ -1,0 +1,51 @@
+#!/bin/sh
+# trace_check.sh — observability determinism gate.
+#
+# Runs one small figure through cebench twice with -trace-out/-metrics-out:
+# fully serial, then on an 8-way worker pool. The exported trace and metrics
+# files must be byte-identical across the two runs (sim-clock timestamps +
+# sorted-scope export make the files independent of goroutine scheduling),
+# and stdout must be byte-identical both between them and against a third
+# run with tracing off entirely (collection must not perturb results).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fig=fig21b
+seed=2023
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/cebench" ./cmd/cebench
+
+echo "== trace-check: $fig serial"
+"$tmp/cebench" -seed "$seed" -parallel 1 \
+	-trace-out "$tmp/trace1.json" -metrics-out "$tmp/metrics1.json" \
+	"$fig" >"$tmp/out1.txt" 2>/dev/null
+
+echo "== trace-check: $fig parallel=8"
+"$tmp/cebench" -seed "$seed" -parallel 8 \
+	-trace-out "$tmp/trace2.json" -metrics-out "$tmp/metrics2.json" \
+	"$fig" >"$tmp/out2.txt" 2>/dev/null
+
+echo "== trace-check: $fig tracing off"
+"$tmp/cebench" -seed "$seed" -parallel 8 "$fig" >"$tmp/out3.txt" 2>/dev/null
+
+cmp "$tmp/trace1.json" "$tmp/trace2.json" || {
+	echo "trace-check: trace bytes differ between -parallel 1 and 8" >&2
+	exit 1
+}
+cmp "$tmp/metrics1.json" "$tmp/metrics2.json" || {
+	echo "trace-check: metrics bytes differ between -parallel 1 and 8" >&2
+	exit 1
+}
+cmp "$tmp/out1.txt" "$tmp/out2.txt" || {
+	echo "trace-check: stdout differs between -parallel 1 and 8" >&2
+	exit 1
+}
+cmp "$tmp/out1.txt" "$tmp/out3.txt" || {
+	echo "trace-check: stdout differs with tracing on vs off" >&2
+	exit 1
+}
+
+echo "trace-check OK"
