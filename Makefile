@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check fmt vet build lint test race trace-check bench benchfull
+.PHONY: check fmt vet build lint test race trace-check shard-check bench benchfull
 
-check: fmt vet build lint test race trace-check
+check: fmt vet build lint test race trace-check shard-check
 
 fmt:
 	@out="$$(gofmt -s -l .)"; if [ -n "$$out" ]; then \
@@ -15,8 +15,8 @@ build:
 	$(GO) build ./...
 
 # cescalint: the determinism-enforcing static-analysis suite (walltime,
-# globalrand, maporder, fpreduce, importboundary). Package sets live in
-# cescalint.policy; see DESIGN.md "Determinism invariants".
+# globalrand, maporder, fpreduce, importboundary, shardsafe). Package sets
+# live in cescalint.policy; see DESIGN.md "Determinism invariants".
 lint:
 	$(GO) run ./cmd/cescalint ./...
 
@@ -32,6 +32,14 @@ race:
 # a run with tracing off.
 trace-check:
 	sh scripts/trace_check.sh
+
+# shard-check: the sharded-kernel determinism gate. Runs the kernel's
+# cross-shard workload matrix and the macro-day scenario across shard and
+# worker counts, requiring event-for-event equivalence with the single-queue
+# reference and byte-identical tables, traces and metrics everywhere.
+shard-check:
+	$(GO) test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
+	$(GO) test -run 'TestMacroDayShardMatrix' ./internal/experiments/
 
 # Smoke-run the numeric-path benchmarks (ml kernels, dataset caches, DES
 # kernel) at a fixed small iteration count: fast enough for CI, enough to

@@ -28,6 +28,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -52,6 +54,14 @@ func run() int {
 	// byte-identical at any -parallel level. Stdout is unaffected.
 	traceOut := flag.String("trace-out", "", "write the experiments' event trace to this file (.jsonl = JSON lines, else Chrome trace-event JSON for Perfetto)")
 	metricsOut := flag.String("metrics-out", "", "write the experiments' metrics snapshot to this JSON file")
+	// Sharded-kernel knobs: shards/sim-workers reconfigure the DES kernel
+	// inside sharded scenarios (currently macro-day); tables and trace
+	// exports are byte-identical at every setting, only wall-clock moves.
+	shards := flag.Int("shards", 0, "kernel shards for sharded scenarios (0 = scenario default)")
+	simWorkers := flag.Int("sim-workers", 0, "concurrent shards per conservative window (0 = scenario default)")
+	macroTenants := flag.Int("macro-tenants", 0, "macro-day tenant count (0 = default 32)")
+	macroPerTenant := flag.Int("macro-per-tenant", 0, "macro-day invocations per tenant (0 = default 1500)")
+	rusage := flag.Bool("rusage", false, "report peak RSS (VmHWM) to stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv|html] [-parallel P] <experiment-id>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
@@ -111,6 +121,8 @@ func run() int {
 	}
 
 	experiments.SetParallelism(*parallel)
+	experiments.SetMacroSharding(*shards, *simWorkers)
+	experiments.SetMacroScale(*macroTenants, *macroPerTenant)
 	start := time.Now()
 	outcomes := experiments.RunAll(ids, *seed)
 	total := time.Since(start)
@@ -174,7 +186,30 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "cebench: %d artifacts in %s (parallel=%d)\n",
 			len(ids), total.Round(time.Millisecond), experiments.Parallelism())
 	}
+	if *rusage {
+		if hwm, err := peakRSSKB(); err == nil {
+			fmt.Fprintf(os.Stderr, "cebench: peak RSS %d kB (cores=%d)\n", hwm, runtime.NumCPU())
+		} else {
+			fmt.Fprintf(os.Stderr, "cebench: rusage unavailable: %v\n", err)
+		}
+	}
 	return exit
+}
+
+// peakRSSKB reads the process high-water-mark resident set (VmHWM) from
+// /proc/self/status, in kB.
+func peakRSSKB() (int64, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			v := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "kB"))
+			return strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("no VmHWM in /proc/self/status")
 }
 
 // exportCollector writes the merged per-cell trace and/or metrics files.

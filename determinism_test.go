@@ -6,7 +6,9 @@ package repro_test
 // parallelized matrix shape — the HPT systems x models cells (fig9), the
 // training matrix (fig13), the validation allocation sweep (fig19x), the
 // flattened ablation combos (abl-faults), the (n, model) table blocks
-// (tab2), the truth-run fan-out (fig4) and the planning-only loop (fig21a).
+// (tab2), the truth-run fan-out (fig4), the planning-only loop (fig21a)
+// and the sharded-kernel macro scenario (macro-day), which exercises the
+// multi-shard event merge underneath the engine-level parallelism.
 
 import (
 	"testing"
@@ -14,7 +16,7 @@ import (
 	"repro/internal/experiments"
 )
 
-var determinismIDs = []string{"fig4", "fig9", "fig13", "fig19x", "fig21a", "abl-faults", "tab2"}
+var determinismIDs = []string{"fig4", "fig9", "fig13", "fig19x", "fig21a", "abl-faults", "tab2", "macro-day"}
 
 func renderAll(t *testing.T, ids []string, seed uint64) string {
 	t.Helper()

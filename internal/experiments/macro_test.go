@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// renderMacro runs macro-day at the given kernel configuration and returns
+// the rendered table plus the merged trace and metrics exports.
+func renderMacro(t *testing.T, seed uint64, shards, workers int) (table, trace, metrics string) {
+	t.Helper()
+	SetMacroSharding(shards, workers)
+	defer SetMacroSharding(0, 0)
+	c := obs.NewCollector()
+	SetCollector(c)
+	defer SetCollector(nil)
+
+	tab, err := Run("macro-day", seed)
+	if err != nil {
+		t.Fatalf("macro-day(shards=%d workers=%d): %v", shards, workers, err)
+	}
+	var tb, mb bytes.Buffer
+	if err := obs.WriteJSONL(&tb, c.Scopes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteMetricsJSON(&mb, c.Scopes()); err != nil {
+		t.Fatal(err)
+	}
+	return tab.String(), tb.String(), mb.String()
+}
+
+// TestMacroDayShardMatrix is the acceptance gate for the sharded kernel:
+// the macro scenario's table, trace export and metrics export must be
+// byte-identical at every (shards, workers) combination, including the
+// parallel executor, because the merge order of every simultaneous event
+// pair is pinned by globally unique priorities.
+func TestMacroDayShardMatrix(t *testing.T) {
+	SetMacroScale(9, 300)
+	defer SetMacroScale(0, 0)
+
+	refTab, refTrace, refMetrics := renderMacro(t, 11, 1, 1)
+	if refTrace == "" || len(refTrace) < 100 {
+		t.Fatalf("reference trace implausibly small: %d bytes", len(refTrace))
+	}
+	for _, shards := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 8} {
+			if shards == 1 && workers == 1 {
+				continue
+			}
+			name := fmt.Sprintf("shards=%d,workers=%d", shards, workers)
+			tab, trace, metrics := renderMacro(t, 11, shards, workers)
+			if tab != refTab {
+				t.Errorf("%s: table diverges from shards=1,workers=1:\n--- ref\n%s\n--- got\n%s", name, refTab, tab)
+			}
+			if trace != refTrace {
+				t.Errorf("%s: trace export diverges (%d vs %d bytes)", name, len(refTrace), len(trace))
+			}
+			if metrics != refMetrics {
+				t.Errorf("%s: metrics export diverges", name)
+			}
+		}
+	}
+}
+
+// TestMacroDaySeedSensitivity guards against the scenario collapsing into
+// a constant: different seeds must produce different traffic.
+func TestMacroDaySeedSensitivity(t *testing.T) {
+	SetMacroScale(4, 120)
+	defer SetMacroScale(0, 0)
+	a, err := Run("macro-day", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("macro-day", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("macro-day output identical across seeds")
+	}
+}
+
+// TestMacroDayExercisesContention checks the scenario actually stresses the
+// shared-account paths: the default-scale run must record retries and warm
+// starts, and the coordinator must have run shedding windows.
+func TestMacroDayExercisesContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale macro run skipped in -short mode")
+	}
+	tab, err := Run("macro-day", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tab.Rows[len(tab.Rows)-1]
+	// Columns: class tenants memMB completed retried shed dropped cold cost$.
+	if total[3] == "0" {
+		t.Error("no completions")
+	}
+	if total[4] == "0" {
+		t.Error("no retries: concurrency caps never bound")
+	}
+	if total[5] == "0" {
+		t.Error("no sheds: coordinator feedback loop never fired")
+	}
+	if total[7] == "0" {
+		t.Error("no cold starts")
+	}
+}

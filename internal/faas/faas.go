@@ -102,7 +102,7 @@ func (m *Meter) Total() float64 { return m.InvokeCost + m.ComputeCost }
 // out from under a previous slice header, and compacts once the prefix
 // dominates.
 type expiryQueue struct {
-	evs  []*sim.Event
+	evs  []sim.Event
 	head int
 }
 
@@ -113,15 +113,16 @@ func (q *expiryQueue) len() int {
 	return len(q.evs) - q.head
 }
 
-func (q *expiryQueue) push(ev *sim.Event) { q.evs = append(q.evs, ev) }
+func (q *expiryQueue) push(ev sim.Event) { q.evs = append(q.evs, ev) }
 
-// popHead removes and returns the earliest pending reclaim (nil if empty).
-func (q *expiryQueue) popHead() *sim.Event {
+// popHead removes and returns the earliest pending reclaim (the zero,
+// inert Event if empty).
+func (q *expiryQueue) popHead() sim.Event {
 	if q == nil || q.head >= len(q.evs) {
-		return nil
+		return sim.Event{}
 	}
 	ev := q.evs[q.head]
-	q.evs[q.head] = nil
+	q.evs[q.head] = sim.Event{}
 	q.head++
 	q.maybeCompact()
 	return ev
@@ -131,13 +132,15 @@ func (q *expiryQueue) popHead() *sim.Event {
 // case; if WarmTTL was lowered mid-run a later-scheduled reclaim can fire
 // before earlier ones, so fall back to a scan rather than blindly popping —
 // popping the wrong entry would leave this fired (and soon recycled) event
-// in the queue for takeWarm to Cancel later.
-func (q *expiryQueue) remove(ev *sim.Event) {
+// in the queue for takeWarm to Cancel later. (Since the kernel's generation
+// counters made stale Cancel a no-op that mistake would no longer corrupt
+// an unrelated event, but it would still leak a dead queue entry.)
+func (q *expiryQueue) remove(ev sim.Event) {
 	if q == nil {
 		return
 	}
 	if q.head < len(q.evs) && q.evs[q.head] == ev {
-		q.evs[q.head] = nil
+		q.evs[q.head] = sim.Event{}
 		q.head++
 		q.maybeCompact()
 		return
@@ -145,7 +148,7 @@ func (q *expiryQueue) remove(ev *sim.Event) {
 	for j := q.head; j < len(q.evs); j++ {
 		if q.evs[j] == ev {
 			copy(q.evs[j:], q.evs[j+1:])
-			q.evs[len(q.evs)-1] = nil
+			q.evs[len(q.evs)-1] = sim.Event{}
 			q.evs = q.evs[:len(q.evs)-1]
 			return
 		}
@@ -174,8 +177,15 @@ func (q *expiryQueue) cancelAll() {
 }
 
 // Platform is one simulated serverless region/account.
+//
+// A Platform is owned by one kernel shard: its clock, its expiry events and
+// its startup-jitter stream all live on that shard, so independent accounts
+// (one per tenant) placed on different shards can advance concurrently
+// inside the kernel's lookahead windows. The default constructors bind the
+// main shard, which preserves the historical single-queue behavior exactly.
 type Platform struct {
-	sim     *sim.Simulation
+	sh      *sim.Shard
+	rng     *sim.Rand // startup-jitter stream, captured at construction
 	limits  Limits
 	startup StartupModel
 	prices  pricing.PriceBook
@@ -207,10 +217,20 @@ type Platform struct {
 // Lambda-like).
 const DefaultWarmTTL = 600
 
-// New returns a platform bound to the simulation's clock and RNG.
+// New returns a platform bound to the simulation's main shard, drawing
+// startup jitter from the "faas.startup" stream (the historical wiring).
 func New(s *sim.Simulation, limits Limits, startup StartupModel, pb pricing.PriceBook) *Platform {
+	return NewOnShard(s.Main(), "faas.startup", limits, startup, pb)
+}
+
+// NewOnShard returns a platform owned by the given kernel shard, drawing
+// startup jitter from the named stream. Per-tenant accounts use one shard
+// and one distinct stream name each, so every tenant's jitter sequence is
+// independent of how many other tenants exist and of the shard layout.
+func NewOnShard(sh *sim.Shard, randStream string, limits Limits, startup StartupModel, pb pricing.PriceBook) *Platform {
 	return &Platform{
-		sim: s, limits: limits, startup: startup, prices: pb,
+		sh: sh, rng: sh.Rand(randStream),
+		limits: limits, startup: startup, prices: pb,
 		WarmTTL:   DefaultWarmTTL,
 		WarmLimit: limits.MaxConcurrency,
 		warm:      make(map[int]int),
@@ -229,6 +249,10 @@ func (p *Platform) SetObserver(o *obs.Observer) { p.obs = o }
 
 // Limits returns the platform's account limits.
 func (p *Platform) Limits() Limits { return p.limits }
+
+// Shard returns the kernel shard that owns this platform's clock and
+// events.
+func (p *Platform) Shard() *sim.Shard { return p.sh }
 
 // Meter returns a snapshot of the bill so far.
 func (p *Platform) Meter() Meter { return p.meter }
@@ -273,7 +297,7 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 	if p.inFlight > p.peakInFlight {
 		p.peakInFlight = p.inFlight
 	}
-	rng := p.sim.Rand("faas.startup")
+	rng := p.rng
 	out := make([]Invocation, n)
 	cold := 0
 	for i := range out {
@@ -304,7 +328,7 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 				st.Observe("faas.cold_start_s", inv.StartDelay)
 			}
 		}
-		p.obs.Trace().InstantAt(float64(p.sim.Now()), "faas", "faas", "invoke_group",
+		p.obs.Trace().InstantAt(float64(p.sh.Now()), "faas", "faas", "invoke_group",
 			obs.I("n", n), obs.I("mem_mb", memMB), obs.I("cold", cold),
 			obs.I("in_flight", p.inFlight), obs.I("cap", p.limits.MaxConcurrency))
 	}
@@ -315,9 +339,9 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 func (p *Platform) takeWarm(memMB int) {
 	p.warm[memMB]--
 	p.warmTotal--
-	if ev := p.expiry[memMB].popHead(); ev != nil {
-		ev.Cancel()
-	}
+	// popHead on an empty queue returns the zero handle; Cancel on it is
+	// a no-op.
+	p.expiry[memMB].popHead().Cancel()
 }
 
 // addWarm returns sandboxes to the pool and schedules their idle reclaim.
@@ -333,8 +357,8 @@ func (p *Platform) addWarm(memMB, n int) {
 		p.expiry[memMB] = q
 	}
 	for i := 0; i < n; i++ {
-		var ev *sim.Event
-		ev = p.sim.ScheduleAfter(p.WarmTTL, func() {
+		var ev sim.Event
+		ev = p.sh.ScheduleAfter(p.WarmTTL, func() {
 			if p.warm[memMB] > 0 {
 				p.warm[memMB]--
 				p.warmTotal--
@@ -383,7 +407,7 @@ func (p *Platform) ReleaseGroup(n, memMB int, secondsEach float64) {
 		st := p.obs.Stats()
 		st.Set("faas.in_flight", float64(p.inFlight))
 		st.Set("faas.warm_total", float64(p.warmTotal))
-		p.obs.Trace().InstantAt(float64(p.sim.Now()), "faas", "faas", "release_group",
+		p.obs.Trace().InstantAt(float64(p.sh.Now()), "faas", "faas", "release_group",
 			obs.I("n", n), obs.I("mem_mb", memMB), obs.F("seconds_each", secondsEach),
 			obs.I("in_flight", p.inFlight), obs.I("warm_total", p.warmTotal))
 	}
@@ -431,7 +455,7 @@ func (p *Platform) Prewarm(n, memMB int) error {
 		st.Add("faas.prewarmed", float64(n))
 		st.Add("faas.invoke_cost", float64(n)*p.prices.FunctionInvoke)
 		st.Set("faas.warm_total", float64(p.warmTotal))
-		p.obs.Trace().InstantAt(float64(p.sim.Now()), "faas", "faas", "prewarm",
+		p.obs.Trace().InstantAt(float64(p.sh.Now()), "faas", "faas", "prewarm",
 			obs.I("n", n), obs.I("mem_mb", memMB), obs.I("warm_total", p.warmTotal))
 	}
 	return nil

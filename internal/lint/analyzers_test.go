@@ -17,6 +17,8 @@ const testPolicy = `
 deterministic repro/internal/lint/testdata/...
 forbid repro/internal/lambda
 forbid net
+shard-restricted repro/internal/lint/testdata/shardsafe
+shard-exempt repro/internal/lint/testdata/shardsafe/executor.go
 `
 
 func testRunner(t *testing.T) *Runner {
@@ -53,7 +55,7 @@ func render(findings []Finding) string {
 // TestAnalyzersGolden proves each analyzer catches its seeded violations —
 // and nothing else — by comparing against a golden transcript.
 func TestAnalyzersGolden(t *testing.T) {
-	for _, name := range []string{"walltime", "globalrand", "maporder", "fpreduce", "importboundary", "pragma"} {
+	for _, name := range []string{"walltime", "globalrand", "maporder", "fpreduce", "importboundary", "pragma", "shardsafe"} {
 		t.Run(name, func(t *testing.T) {
 			r := testRunner(t)
 			findings, err := r.Run([]Target{fixtureTarget(t, name)})

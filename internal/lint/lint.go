@@ -55,7 +55,7 @@ type Analyzer struct {
 
 // All returns the full analyzer suite, in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, GlobalRand, MapOrder, FPReduce, ImportBoundary}
+	return []*Analyzer{Walltime, GlobalRand, MapOrder, FPReduce, ImportBoundary, Shardsafe}
 }
 
 // A Finding is one rule violation at a source position. File is relative to

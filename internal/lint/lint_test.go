@@ -10,7 +10,7 @@ import (
 func allFixtures(t *testing.T) []Target {
 	t.Helper()
 	var targets []Target
-	for _, name := range []string{"walltime", "globalrand", "maporder", "fpreduce", "importboundary", "pragma"} {
+	for _, name := range []string{"walltime", "globalrand", "maporder", "fpreduce", "importboundary", "pragma", "shardsafe"} {
 		targets = append(targets, fixtureTarget(t, name))
 	}
 	return targets
@@ -80,6 +80,8 @@ deterministic repro/internal/platform/...
 output repro/cmd/...
 forbid net
 forbid repro/internal/lambda
+shard-restricted repro/internal/sim
+shard-exempt repro/internal/sim/parallel.go
 `), "p")
 	if err != nil {
 		t.Fatal(err)
@@ -109,6 +111,15 @@ forbid repro/internal/lambda
 		if got := pol.ForbiddenImport(path); got != want {
 			t.Errorf("ForbiddenImport(%q) = %v, want %v", path, got, want)
 		}
+	}
+	if !pol.IsShardRestricted("repro/internal/sim") || pol.IsShardRestricted("repro/internal/faas") {
+		t.Error("shard-restricted set mismatched")
+	}
+	if !pol.IsShardExempt("repro/internal/sim/parallel.go") {
+		t.Error("shard-exempt file not recognized")
+	}
+	if pol.IsShardExempt("repro/internal/sim/sim.go") || pol.IsShardExempt("repro/internal/sim/parallel.go.bak") {
+		t.Error("shard-exempt must match exactly")
 	}
 }
 

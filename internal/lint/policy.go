@@ -12,19 +12,25 @@ import (
 // data, not code:
 //
 //	# comment
-//	deterministic repro/internal/sim
-//	deterministic repro/internal/platform/simbackend
-//	output        repro/internal/experiments
-//	forbid        repro/internal/lambda
-//	forbid        net
+//	deterministic    repro/internal/sim
+//	deterministic    repro/internal/platform/simbackend
+//	output           repro/internal/experiments
+//	forbid           repro/internal/lambda
+//	forbid           net
+//	shard-restricted repro/internal/sim
+//	shard-exempt     repro/internal/sim/parallel.go
 //
 // Patterns are exact import paths, or a prefix ending in /... which matches
 // the path itself and everything below it. "forbid net" bans both "net" and
-// every "net/..." subpackage.
+// every "net/..." subpackage. shard-exempt names one file (as
+// "<package-path>/<file>.go") that may use concurrency inside a
+// shard-restricted package; exemptions are exact, never patterns.
 type Policy struct {
-	deterministic []string
-	output        []string
-	forbidden     []string
+	deterministic   []string
+	output          []string
+	forbidden       []string
+	shardRestricted []string
+	shardExempt     []string
 }
 
 // IsDeterministic reports whether pkg is in the deterministic set: packages
@@ -44,6 +50,23 @@ func (p *Policy) ForbiddenImport(importPath string) bool {
 	for _, f := range p.forbidden {
 		base := strings.TrimSuffix(f, "/...")
 		if importPath == base || strings.HasPrefix(importPath, base+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsShardRestricted reports whether pkg confines concurrency to its
+// shard-exempt files (the sharded DES kernel). The shardsafe analyzer
+// flags every goroutine, channel, select and sync import elsewhere in it.
+func (p *Policy) IsShardRestricted(pkg string) bool { return matchAny(p.shardRestricted, pkg) }
+
+// IsShardExempt reports whether the file named "<pkg-path>/<base>.go" is a
+// sanctioned concurrency site inside a shard-restricted package. Exemptions
+// are exact file names, never patterns: each one is a reviewed decision.
+func (p *Policy) IsShardExempt(file string) bool {
+	for _, f := range p.shardExempt {
+		if file == f {
 			return true
 		}
 	}
@@ -82,8 +105,12 @@ func ParsePolicy(data []byte, name string) (*Policy, error) {
 			p.output = append(p.output, fields[1])
 		case "forbid":
 			p.forbidden = append(p.forbidden, fields[1])
+		case "shard-restricted":
+			p.shardRestricted = append(p.shardRestricted, fields[1])
+		case "shard-exempt":
+			p.shardExempt = append(p.shardExempt, fields[1])
 		default:
-			return nil, fmt.Errorf("%s:%d: unknown keyword %q (want deterministic, output, or forbid)", name, i+1, fields[0])
+			return nil, fmt.Errorf("%s:%d: unknown keyword %q (want deterministic, output, forbid, shard-restricted, or shard-exempt)", name, i+1, fields[0])
 		}
 	}
 	return p, nil

@@ -1,0 +1,27 @@
+// executor.go is the fixture's sanctioned concurrency site: the test
+// policy lists it shard-exempt, so nothing here may be reported even
+// though it uses every construct shardsafe forbids elsewhere.
+package shardsafetest
+
+import "sync"
+
+// RunParallel is a miniature window executor: goroutines, a WaitGroup and
+// a channel, all legal because this file is shard-exempt.
+func RunParallel(fns []func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	}
+}

@@ -1,0 +1,37 @@
+// Package shardsafetest seeds concurrency-outside-the-executor violations
+// for the shardsafe analyzer's golden test. The sibling executor.go is
+// listed shard-exempt in the test policy and must stay silent.
+package shardsafetest
+
+import "sync" // finding: sync import
+
+// Kernel is a stand-in event kernel type.
+type Kernel struct {
+	mu   sync.Mutex // relies on the flagged import; not itself a finding
+	done chan int   // finding: channel type
+}
+
+// Bad spawns a goroutine and selects on a channel outside the executor.
+func Bad(k *Kernel) {
+	go func() { // finding: go statement
+		k.mu.Lock()
+		defer k.mu.Unlock()
+	}()
+	select { // finding: select statement
+	case <-k.done:
+	default:
+	}
+}
+
+// MakeChan returns a fresh channel.
+func MakeChan() chan int { // finding: channel type
+	//cescalint:allow shardsafe -- seeded pragma: channel handed to the exempt executor
+	return make(chan int)
+}
+
+// Legal schedules through plain function values; no concurrency.
+func Legal(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 )
@@ -44,6 +45,21 @@ func (c *Collector) Scope(name string) *Observer {
 		c.scopes[name] = o
 	}
 	return o
+}
+
+// ScopeName builds the canonical indexed scope name "<prefix>/<unit><idx>"
+// with idx zero-padded to the width of count-1 (e.g. ScopeName("macro-day",
+// "t", 7, 64) = "macro-day/t07"). Exporters emit scopes in sorted name
+// order, so zero-padding keeps the numeric order and the lexicographic
+// order identical — unit 10 must not sort between unit 1 and unit 2 —
+// which in turn keeps the merged export byte-identical however the units
+// were sharded across workers.
+func ScopeName(prefix, unit string, idx, count int) string {
+	width := 1
+	for n := count - 1; n >= 10; n /= 10 {
+		width++
+	}
+	return fmt.Sprintf("%s/%s%0*d", prefix, unit, width, idx)
 }
 
 // NamedScope pairs a scope name with its observer for export.

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestScopeNameZeroPadsToCountWidth(t *testing.T) {
+	cases := []struct {
+		idx, count int
+		want       string
+	}{
+		{0, 1, "macro-day/t0"},
+		{7, 10, "macro-day/t7"},
+		{7, 11, "macro-day/t07"},
+		{7, 64, "macro-day/t07"},
+		{63, 64, "macro-day/t63"},
+		{5, 100, "macro-day/t05"},
+		{5, 101, "macro-day/t005"},
+		{99, 100, "macro-day/t99"},
+	}
+	for _, c := range cases {
+		if got := ScopeName("macro-day", "t", c.idx, c.count); got != c.want {
+			t.Errorf("ScopeName(%d, %d) = %q, want %q", c.idx, c.count, got, c.want)
+		}
+	}
+}
+
+func TestScopeNameSortsNumerically(t *testing.T) {
+	const count = 12
+	names := make([]string, count)
+	for i := range names {
+		names[i] = ScopeName("m", "t", i, count)
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for i := range names {
+		if names[i] != sorted[i] {
+			t.Fatalf("lexicographic order diverges from numeric at %d: %v vs %v", i, names, sorted)
+		}
+	}
+}

@@ -191,6 +191,27 @@ func Attach(b Backend, o *obs.Observer) {
 	}
 }
 
+// ShardedKernel is optionally implemented by backends whose clock is a
+// sharded discrete-event kernel (simbackend). shards is the number of
+// independently advancing event queues, workers bounds how many execute
+// concurrently inside one conservative window, and lookahead is the window
+// width — the minimum virtual delay of any cross-shard interaction. The
+// defaults (1, 1, +Inf) are the single-queue behavior; results are
+// byte-identical at every setting for workloads that keep per-shard
+// ownership (see internal/sim).
+type ShardedKernel interface {
+	ConfigureSharding(shards, workers int, lookahead float64)
+}
+
+// ConfigureSharding applies the kernel sharding parameters if the backend
+// supports them; it is a no-op otherwise (the live backend has real
+// concurrency instead of simulated shards).
+func ConfigureSharding(b Backend, shards, workers int, lookahead float64) {
+	if sk, ok := b.(ShardedKernel); ok {
+		sk.ConfigureSharding(shards, workers, lookahead)
+	}
+}
+
 // Closer is optionally implemented by backends holding real resources
 // (sockets, servers, worker goroutines).
 type Closer interface {

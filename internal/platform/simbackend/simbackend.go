@@ -80,6 +80,26 @@ func (b *Backend) SetObserver(o *obs.Observer) {
 // events on the shared virtual clock (the multi-tenant cluster scheduler).
 func (b *Backend) Sim() *sim.Simulation { return b.sim }
 
+// ConfigureSharding implements platform.ShardedKernel: it grows the kernel
+// to at least shards shards, sets the conservative lookahead window (the
+// minimum delay of any cross-shard Post; pass +Inf for none) and bounds how
+// many shards may advance concurrently inside one window. Call before
+// driving events; the defaults (1 shard, 1 worker, infinite lookahead)
+// reproduce the historical single-queue backend exactly.
+func (b *Backend) ConfigureSharding(shards, workers int, lookahead float64) {
+	b.sim.EnsureShards(shards)
+	b.sim.SetWorkers(workers)
+	b.sim.SetLookahead(lookahead)
+}
+
+// TenantPlatform returns a new serverless account owned by kernel shard
+// `shard`, with its own limits and its own startup-jitter stream derived
+// from name. Tenant accounts on distinct shards advance concurrently inside
+// lookahead windows; the backend's default platform (shard 0) is untouched.
+func (b *Backend) TenantPlatform(name string, shard int, limits faas.Limits) *faas.Platform {
+	return faas.NewOnShard(b.sim.Shard(shard), "faas.startup/"+name, limits, faas.DefaultStartup(), b.prices)
+}
+
 // Platform exposes the underlying simulated serverless platform.
 func (b *Backend) Platform() *faas.Platform { return b.plat }
 

@@ -64,3 +64,57 @@ func BenchmarkScheduleCancel(b *testing.B) {
 	s.ScheduleAfter(1, step)
 	s.Run()
 }
+
+// BenchmarkShardedMergeRun runs 8 independent self-scheduling chains, one
+// per shard, through the sequential global merge — the cost of sharding
+// when no parallelism is available. One op = one fired event; comparing
+// against BenchmarkScheduleRun isolates the peekMin merge overhead.
+func BenchmarkShardedMergeRun(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	const shards = 8
+	s.EnsureShards(shards)
+	n := 0
+	for i := 0; i < shards && i < b.N; i++ {
+		sh := s.Shard(i)
+		var step func()
+		step = func() {
+			n++
+			if n+shards <= b.N {
+				sh.ScheduleAfter(1, step)
+			}
+		}
+		n++
+		sh.ScheduleAfter(1+float64(i)/16, step)
+	}
+	s.Run()
+}
+
+// BenchmarkShardedPost measures the cross-shard mailbox round trip: every
+// op posts an event to the neighbouring shard one lookahead ahead, so the
+// kernel pays outbox buffering, a window barrier and the flush on each hop.
+func BenchmarkShardedPost(b *testing.B) {
+	b.ReportAllocs()
+	s := New(1)
+	const shards = 2
+	s.EnsureShards(shards)
+	s.SetLookahead(1)
+	n := 0
+	var hop0, hop1 func()
+	hop0 = func() { // runs on shard 0, posts the next hop to shard 1
+		n++
+		if n < b.N {
+			sh := s.Shard(0)
+			sh.Post(s.Shard(1), sh.Now()+1, 0, hop1)
+		}
+	}
+	hop1 = func() { // runs on shard 1, posts back to shard 0
+		n++
+		if n < b.N {
+			sh := s.Shard(1)
+			sh.Post(s.Shard(0), sh.Now()+1, 0, hop0)
+		}
+	}
+	s.Shard(0).ScheduleAfter(1, hop0)
+	s.Run()
+}

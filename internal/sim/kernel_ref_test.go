@@ -83,17 +83,15 @@ type kernelDriver interface {
 
 type optDriver struct {
 	s    *Simulation
-	last *Event
+	last Event // zero handle is inert, so cancelLast needs no guard
 }
 
 func (d *optDriver) schedulePri(at Time, priority int, fn func()) {
 	d.last = d.s.SchedulePriority(at, priority, fn)
 }
 func (d *optDriver) cancelLast() {
-	if d.last != nil {
-		d.last.Cancel()
-		d.last = nil
-	}
+	d.last.Cancel()
+	d.last = Event{}
 }
 func (d *optDriver) run()               { d.s.Run() }
 func (d *optDriver) clock() Time        { return d.s.Now() }
@@ -227,8 +225,8 @@ func TestEventFreeListRecycles(t *testing.T) {
 	if s.EventsFired() != 1_000_000 {
 		t.Fatalf("fired %d events, want 1000000", s.EventsFired())
 	}
-	if s.allocs > arenaChunk {
-		t.Fatalf("allocated %d events for a 1-deep chain, want <= %d (free list not recycling)", s.allocs, arenaChunk)
+	if s.main.allocs > arenaChunk {
+		t.Fatalf("allocated %d events for a 1-deep chain, want <= %d (free list not recycling)", s.main.allocs, arenaChunk)
 	}
 }
 
@@ -242,8 +240,8 @@ func TestCanceledEventsRecycledOnReap(t *testing.T) {
 		s.Schedule(Time(round)+1, func() {})
 		s.RunUntil(Time(round) + 1)
 	}
-	if s.allocs > 2*arenaChunk {
-		t.Fatalf("allocated %d events across 1000 cancel rounds, want <= %d", s.allocs, 2*arenaChunk)
+	if s.main.allocs > 2*arenaChunk {
+		t.Fatalf("allocated %d events across 1000 cancel rounds, want <= %d", s.main.allocs, 2*arenaChunk)
 	}
 	if s.EventsFired() != 1000 {
 		t.Fatalf("fired %d, want 1000", s.EventsFired())

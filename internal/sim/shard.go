@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Event is a handle to a scheduled callback. Events compare by time, then
+// priority (lower runs first), then insertion sequence, which makes
+// simultaneous events deterministic.
+//
+// The handle is a small value (not a pointer into the kernel): it pairs the
+// event's arena slot with the generation the slot had when the event was
+// scheduled. Once the event fires or its cancellation is reaped, the kernel
+// bumps the slot's generation and recycles it, so a stale handle no longer
+// matches and Cancel/Canceled on it are safe no-ops (or panics under
+// SetStrictCancel) instead of silently acting on an unrelated event that
+// reused the slot. The zero Event is inert.
+type Event struct {
+	slot *eventSlot
+	gen  uint64
+}
+
+// At reports the virtual time the event is scheduled for, or 0 when the
+// handle is zero or stale.
+func (e Event) At() Time {
+	if e.slot == nil || e.slot.gen != e.gen {
+		return 0
+	}
+	return e.slot.at
+}
+
+// Cancel marks the event so that it will be skipped when its time comes.
+// Canceling an already-fired (or already-reaped) event is a no-op: the
+// handle's generation no longer matches the recycled slot.
+func (e Event) Cancel() {
+	slot := e.slot
+	if slot == nil {
+		return
+	}
+	if slot.gen != e.gen {
+		if slot.sh.sim.strictCancel {
+			panic("sim: Cancel on a stale event handle (event already fired or reaped)")
+		}
+		return
+	}
+	sh := slot.sh
+	if d := sh.sim.draining; d != nil && d != sh {
+		panic(fmt.Sprintf("sim: shard %d canceled an event owned by shard %d; cross-shard interaction must go through Post", d.idx, sh.idx))
+	}
+	if sh.sim.parallelActive && !sh.executing {
+		panic(fmt.Sprintf("sim: event on shard %d canceled from another shard inside a parallel window", sh.idx))
+	}
+	slot.canceled = true
+}
+
+// Canceled reports whether Cancel has been called on the event. A zero or
+// stale handle reports false (the event it referred to is gone), or panics
+// under SetStrictCancel.
+func (e Event) Canceled() bool {
+	if e.slot == nil {
+		return false
+	}
+	if e.slot.gen != e.gen {
+		if e.slot.sh.sim.strictCancel {
+			panic("sim: Canceled on a stale event handle (event already fired or reaped)")
+		}
+		return false
+	}
+	return e.slot.canceled
+}
+
+// eventSlot is the arena-resident payload of one scheduled event. The
+// comparison keys live in the heap entries; the slot carries the closure
+// and the generation counter that invalidates stale handles.
+type eventSlot struct {
+	fn       func()
+	at       Time
+	gen      uint64
+	canceled bool
+	sh       *Shard
+}
+
+// heapEntry is one element of a shard's binary heap: the (time, priority,
+// sequence) ordering keys inline — so sift comparisons never chase the slot
+// pointer — plus the slot holding the payload.
+type heapEntry struct {
+	at   Time
+	pri  int
+	seq  uint64
+	slot *eventSlot
+}
+
+// entryLess is a shard-local queue's total order: (time, priority,
+// sequence).
+func entryLess(a, b *heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.pri != b.pri {
+		return a.pri < b.pri
+	}
+	return a.seq < b.seq
+}
+
+// postMsg is one pending cross-shard send, buffered in the sender's outbox
+// until the next window barrier.
+type postMsg struct {
+	to  *Shard
+	at  Time
+	pri int
+	fn  func()
+}
+
+// Shard is one event queue with its own clock, sequence counter and event
+// arena. All state a shard's events mutate belongs to that shard alone;
+// cross-shard interaction goes through Post.
+type Shard struct {
+	sim *Simulation
+	idx int
+	now Time
+
+	heap  []heapEntry
+	seq   uint64
+	fired uint64
+
+	// free holds recycled slots; arena is the tail of the current
+	// allocation block new slots are carved from. Together they make the
+	// steady-state schedule/fire loop allocation-free.
+	free   []*eventSlot
+	arena  []eventSlot
+	allocs uint64 // slots carved from fresh arena blocks (tests assert reuse)
+
+	// outbox buffers cross-shard posts until the next window barrier.
+	outbox []postMsg
+
+	// executing is true while this shard drains events (set and read by
+	// the goroutine draining the shard).
+	executing bool
+}
+
+// arenaChunk is how many event slots one arena block holds: large enough
+// to amortize the block allocation, small enough not to bloat tiny
+// simulations.
+const arenaChunk = 64
+
+func newShard(s *Simulation, idx int) *Shard {
+	return &Shard{sim: s, idx: idx}
+}
+
+// Index reports the shard's position in the simulation's shard set.
+func (sh *Shard) Index() int { return sh.idx }
+
+// Now returns the shard's current virtual time.
+func (sh *Shard) Now() Time { return sh.now }
+
+// EventsFired reports how many events have executed on this shard.
+func (sh *Shard) EventsFired() uint64 { return sh.fired }
+
+// Sim returns the owning simulation.
+func (sh *Shard) Sim() *Simulation { return sh.sim }
+
+// Rand returns the named deterministic random stream of the owning
+// simulation (see Simulation.Rand for the creation and ownership rules).
+func (sh *Shard) Rand(name string) *Rand { return sh.sim.Rand(name) }
+
+// Schedule queues fn to run on this shard at absolute virtual time at.
+// Scheduling in the past (before the shard's Now) panics.
+func (sh *Shard) Schedule(at Time, fn func()) Event {
+	return sh.SchedulePriority(at, 0, fn)
+}
+
+// ScheduleAfter queues fn to run on this shard d seconds from the shard's
+// now. Negative d panics.
+func (sh *Shard) ScheduleAfter(d Duration, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: ScheduleAfter with negative delay %g", d))
+	}
+	return sh.SchedulePriority(sh.now+Time(d), 0, fn)
+}
+
+// SchedulePriority is Schedule with an explicit tie-break priority; among
+// events at the same instant, lower priority values run first.
+//
+// Only the shard's own events (or setup code running outside Run) may
+// schedule onto it; an event on another shard must use Post instead, and
+// the kernel panics on violations it can observe.
+func (sh *Shard) SchedulePriority(at Time, priority int, fn func()) Event {
+	s := sh.sim
+	if d := s.draining; d != nil && d != sh {
+		panic(fmt.Sprintf("sim: shard %d scheduled onto shard %d; cross-shard sends must go through Post", d.idx, sh.idx))
+	}
+	if s.parallelActive && !sh.executing {
+		panic(fmt.Sprintf("sim: schedule onto shard %d from another shard inside a parallel window; use Post", sh.idx))
+	}
+	if at < sh.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, sh.now))
+	}
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(at)))
+	}
+	slot := sh.newSlot()
+	slot.fn, slot.at = fn, at
+	slot.canceled = false
+	sh.enqueue2(at, priority, slot)
+	return Event{slot: slot, gen: slot.gen}
+}
+
+// Post sends fn to run on shard to at absolute time at with the given
+// tie-break priority. Posts are the only sanctioned cross-shard channel:
+// they are buffered in the sender's outbox and delivered at the next window
+// barrier, and must target a time at least one lookahead past the sender's
+// clock — that gap is what lets shards execute a window concurrently
+// without observing each other. Posting to the shard itself is allowed and
+// follows the same rules. Post requires a finite lookahead
+// (Simulation.SetLookahead).
+func (sh *Shard) Post(to *Shard, at Time, priority int, fn func()) {
+	s := sh.sim
+	if to == nil || to.sim != s {
+		panic("sim: Post to a shard of a different simulation")
+	}
+	// Like Schedule, Post may only be called through the shard whose event
+	// is currently executing (or from setup code outside Run): the outbox
+	// is single-writer, and the lookahead check below is only meaningful
+	// against the true sender's clock.
+	if d := s.draining; d != nil && d != sh {
+		panic(fmt.Sprintf("sim: shard %d posted through shard %d's outbox; events post through their own shard", d.idx, sh.idx))
+	}
+	if s.parallelActive && !sh.executing {
+		panic(fmt.Sprintf("sim: post through shard %d's outbox from another shard inside a parallel window", sh.idx))
+	}
+	if math.IsInf(s.lookahead, 1) {
+		panic("sim: Post requires a finite lookahead; call SetLookahead before Run")
+	}
+	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+		panic(fmt.Sprintf("sim: posting event at non-finite time %v", float64(at)))
+	}
+	if at < sh.now+Time(s.lookahead) {
+		panic(fmt.Sprintf("sim: post at %v violates lookahead: sender shard %d is at %v with lookahead %g", at, sh.idx, sh.now, s.lookahead))
+	}
+	sh.outbox = append(sh.outbox, postMsg{to: to, at: at, pri: priority, fn: fn})
+}
+
+// PostAfter is Post at d seconds from the shard's now; d below the
+// lookahead panics.
+func (sh *Shard) PostAfter(to *Shard, d Duration, priority int, fn func()) {
+	sh.Post(to, sh.now+Time(d), priority, fn)
+}
+
+// enqueue inserts an already-validated event (a delivered post) into the
+// shard's heap, assigning the next sequence number.
+func (sh *Shard) enqueue(at Time, priority int, fn func()) {
+	slot := sh.newSlot()
+	slot.fn, slot.at = fn, at
+	slot.canceled = false
+	sh.enqueue2(at, priority, slot)
+}
+
+// enqueue2 pushes slot onto the heap under (at, priority, next sequence).
+func (sh *Shard) enqueue2(at Time, priority int, slot *eventSlot) {
+	sh.heapPush(heapEntry{at: at, pri: priority, seq: sh.seq, slot: slot})
+	sh.seq++
+}
+
+// newSlot returns a slot from the free list or the arena.
+func (sh *Shard) newSlot() *eventSlot {
+	if n := len(sh.free); n > 0 {
+		slot := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return slot
+	}
+	if len(sh.arena) == 0 {
+		block := make([]eventSlot, arenaChunk)
+		for i := range block {
+			block[i].sh = sh
+		}
+		sh.arena = block
+	}
+	slot := &sh.arena[0]
+	sh.arena = sh.arena[1:]
+	sh.allocs++
+	return slot
+}
+
+// recycle returns a fired or reaped slot to the free list, bumping its
+// generation so outstanding handles go stale. The closure is dropped so the
+// kernel does not pin caller state between reuses.
+func (sh *Shard) recycle(slot *eventSlot) {
+	slot.fn = nil
+	slot.canceled = false
+	slot.gen++
+	sh.free = append(sh.free, slot)
+}
+
+// eligible reports whether the shard has an event inside the window bound.
+func (sh *Shard) eligible(bound Time, inclusive bool) bool {
+	if len(sh.heap) == 0 {
+		return false
+	}
+	at := sh.heap[0].at
+	return at < bound || (inclusive && at == bound)
+}
+
+// drain executes the shard's events up to the window bound (exclusive, or
+// inclusive at the caller's RunUntil limit), advancing the shard clock to
+// each event's time before invoking it. Events fired here may schedule
+// further events onto this shard — including inside the same window — and
+// post to other shards.
+func (sh *Shard) drain(bound Time, inclusive bool) {
+	sh.executing = true
+	for len(sh.heap) > 0 {
+		at := sh.heap[0].at
+		if at > bound || (at == bound && !inclusive) {
+			break
+		}
+		e := sh.heapPop()
+		slot := e.slot
+		if slot.canceled {
+			sh.recycle(slot)
+			continue
+		}
+		sh.now = e.at
+		sh.fired++
+		fn := slot.fn
+		slot.fn = nil
+		fn()
+		sh.recycle(slot)
+	}
+	sh.executing = false
+}
+
+// drainOne pops the shard's head entry and, unless it is a canceled event
+// being reaped, fires it. Used by the sequential multi-shard merge loop,
+// which re-picks the globally minimal shard between events.
+func (sh *Shard) drainOne() {
+	e := sh.heapPop()
+	slot := e.slot
+	if slot.canceled {
+		sh.recycle(slot)
+		return
+	}
+	sh.now = e.at
+	sh.fired++
+	fn := slot.fn
+	slot.fn = nil
+	sh.executing = true
+	fn()
+	sh.executing = false
+	sh.recycle(slot)
+}
+
+// heapPush appends e and sifts it up to its ordered position.
+func (sh *Shard) heapPush(e heapEntry) {
+	q := append(sh.heap, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(&q[i], &q[parent]) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	sh.heap = q
+}
+
+// heapPop removes and returns the minimum entry.
+func (sh *Shard) heapPop() heapEntry {
+	q := sh.heap
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = heapEntry{}
+	q = q[:n]
+	sh.heap = q
+	// Sift the moved element down to restore the heap order.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && entryLess(&q[r], &q[l]) {
+			m = r
+		}
+		if !entryLess(&q[m], &q[i]) {
+			break
+		}
+		q[i], q[m] = q[m], q[i]
+		i = m
+	}
+	return top
+}

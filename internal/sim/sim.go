@@ -1,20 +1,48 @@
 // Package sim provides a small deterministic discrete-event simulation
-// kernel: a virtual clock, an event queue ordered by (time, priority,
+// kernel: a virtual clock, sharded event queues ordered by (time, priority,
 // insertion order), and named pseudo-random streams.
 //
 // The kernel is deliberately callback-based rather than goroutine-based so
 // that simulations are fully deterministic and cheap: an event is a closure
-// scheduled at an absolute virtual time, and Run drains the queue in order.
+// scheduled at an absolute virtual time, and Run drains the queues in order.
 // All simulated subsystems in this repository (the serverless platform, the
 // storage services, the distributed trainer) advance time only through this
 // kernel.
 //
-// The event queue is an inlined binary heap over a plain slice (no
-// container/heap interface boxing), and fired or reaped events return to a
-// per-simulation free list, so the steady-state hot loop — schedule, pop,
-// fire — allocates nothing. The (time, priority, sequence) total order is
-// identical to the reference container/heap implementation (asserted by the
-// kernel equivalence test).
+// # Shards
+//
+// A Simulation owns one or more Shards. Each shard has its own clock, its
+// own event heap and its own event arena; a single-shard simulation (the
+// default — New returns one shard, and the Simulation-level Schedule
+// methods target it) behaves exactly like the historical single-queue
+// kernel. Multi-shard simulations partition the workload by ownership — one
+// shard per job or tenant — and may execute shards concurrently inside
+// conservative lookahead windows (see RunUntil) while producing the same
+// event order, clocks and observable output at every shard count and
+// worker count, provided the workload follows the shard ownership rules:
+//
+//   - Every piece of mutable state belongs to exactly one shard, and only
+//     events running on that shard touch it.
+//   - An event may Schedule freely onto its own shard; sends to another
+//     shard go through Post, which delays them by at least the configured
+//     lookahead and delivers them at window barriers.
+//   - Named random streams are created during setup (or sequential
+//     execution) and each stream is drawn from by a single shard.
+//
+// Cross-shard events that may collide on (time, priority) with events from
+// another shard should carry a priority that identifies the sender (e.g.
+// the tenant index): the merge order is then fully determined by
+// (time, priority) and cannot depend on how the workload was sharded.
+//
+// # Performance
+//
+// Each shard's queue is an inlined binary heap over a slice of small
+// struct-of-arrays entries — the (time, priority, sequence) comparison keys
+// live in the heap entries, the closures and bookkeeping in arena-backed
+// slots — and fired or reaped slots return to a per-shard free list, so the
+// steady-state hot loop (schedule, pop, fire) allocates nothing. The total
+// order is identical to the reference container/heap implementation
+// (asserted by the kernel equivalence tests).
 package sim
 
 import (
@@ -43,249 +71,369 @@ func (t Time) String() string {
 	return fmt.Sprintf("t=%.3fs", float64(t))
 }
 
-// Event is a scheduled callback. Events compare by time, then priority
-// (lower runs first), then insertion sequence, which makes simultaneous
-// events deterministic.
-//
-// Ownership: the pointer returned by Schedule is valid for Cancel/At until
-// the event fires or its cancellation is reaped by the run loop; afterwards
-// the kernel recycles the object for a future Schedule. Holding an Event
-// past its firing and calling methods on it is a caller bug (it may now be
-// a different scheduled event).
-type Event struct {
-	at       Time
-	priority int
-	seq      uint64
-	fn       func()
-	canceled bool
-}
-
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-// Cancel marks the event so that it will be skipped when its time comes.
-// Canceling an already-fired event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
-
-// Canceled reports whether Cancel has been called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
-
-// eventLess is the queue's total order: (time, priority, sequence).
-func eventLess(a, b *Event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	if a.priority != b.priority {
-		return a.priority < b.priority
-	}
-	return a.seq < b.seq
-}
-
-// Simulation owns a virtual clock and an event queue.
-// The zero value is not usable; construct with New.
+// Simulation owns the virtual clocks, the shard set and the named random
+// streams. The zero value is not usable; construct with New.
 type Simulation struct {
-	now     Time
-	queue   []*Event // binary min-heap ordered by eventLess
-	seq     uint64
+	shards  []*Shard
+	main    *Shard // shards[0]; the target of the legacy Schedule methods
 	running bool
 	rng     map[string]*Rand
 	seed    uint64
-	fired   uint64
 
-	// free holds recycled events; arena is the tail of the current
-	// allocation block new events are carved from. Together they make the
-	// steady-state schedule/fire loop allocation-free.
-	free   []*Event
-	arena  []Event
-	allocs uint64 // events carved from fresh arena blocks (tests assert reuse)
+	// lookahead is the conservative parallel-window width: a Post from an
+	// event at time t is delivered no earlier than t+lookahead, so shards
+	// never interact inside a window of that width. +Inf (the default)
+	// means "no cross-shard traffic": Post panics and RunUntil drains in
+	// one window, which is exactly the historical single-queue behavior.
+	lookahead float64
+
+	// workers bounds how many shards drain concurrently inside one window;
+	// 1 (the default) keeps execution fully sequential.
+	workers int
+
+	// strictCancel upgrades a stale Event.Cancel/Canceled (handle to an
+	// already-recycled event) from a no-op to a panic, for debugging.
+	strictCancel bool
+
+	// draining is the shard currently executing events on the sequential
+	// path (nil otherwise); parallelActive is true while worker goroutines
+	// drain a window. Both exist to catch shard-ownership violations:
+	// scheduling or canceling across shards mid-run panics instead of
+	// silently breaking shard-count invariance.
+	draining       *Shard
+	parallelActive bool
 }
 
-// arenaChunk is how many events one arena block holds: large enough to
-// amortize the block allocation, small enough not to bloat tiny simulations.
-const arenaChunk = 64
-
-// New returns a simulation whose named random streams derive from seed.
+// New returns a single-shard simulation whose named random streams derive
+// from seed.
 func New(seed uint64) *Simulation {
-	return &Simulation{rng: make(map[string]*Rand), seed: seed}
-}
-
-// Now returns the current virtual time.
-func (s *Simulation) Now() Time { return s.now }
-
-// EventsFired reports how many events have executed so far.
-func (s *Simulation) EventsFired() uint64 { return s.fired }
-
-// Pending reports how many events are queued (including canceled ones that
-// have not yet been skipped).
-func (s *Simulation) Pending() int { return len(s.queue) }
-
-// newEvent returns a zeroed event from the free list or the arena.
-func (s *Simulation) newEvent() *Event {
-	if n := len(s.free); n > 0 {
-		e := s.free[n-1]
-		s.free[n-1] = nil
-		s.free = s.free[:n-1]
-		return e
+	s := &Simulation{
+		rng:       make(map[string]*Rand),
+		seed:      seed,
+		lookahead: math.Inf(1),
+		workers:   1,
 	}
-	if len(s.arena) == 0 {
-		s.arena = make([]Event, arenaChunk)
+	s.main = newShard(s, 0)
+	s.shards = []*Shard{s.main}
+	return s
+}
+
+// EnsureShards grows the shard set to at least n shards (it never shrinks).
+// Shard 0 always exists and is the target of the Simulation-level Schedule
+// methods. Must be called outside Run.
+func (s *Simulation) EnsureShards(n int) {
+	if s.running {
+		panic("sim: EnsureShards during Run")
 	}
-	e := &s.arena[0]
-	s.arena = s.arena[1:]
-	s.allocs++
-	return e
-}
-
-// recycle returns a fired or reaped event to the free list. The closure is
-// dropped so the kernel does not pin caller state between reuses.
-func (s *Simulation) recycle(e *Event) {
-	e.fn = nil
-	e.canceled = false
-	s.free = append(s.free, e)
-}
-
-// Schedule queues fn to run at absolute virtual time at. Scheduling in the
-// past (before Now) panics: that is always a bug in the caller.
-func (s *Simulation) Schedule(at Time, fn func()) *Event {
-	return s.SchedulePriority(at, 0, fn)
-}
-
-// ScheduleAfter queues fn to run d seconds from now. Negative d panics.
-func (s *Simulation) ScheduleAfter(d Duration, fn func()) *Event {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: ScheduleAfter with negative delay %g", d))
+	for len(s.shards) < n {
+		s.shards = append(s.shards, newShard(s, len(s.shards)))
 	}
-	return s.Schedule(s.now+Time(d), fn)
+}
+
+// NumShards reports the current shard count.
+func (s *Simulation) NumShards() int { return len(s.shards) }
+
+// Shard returns shard i (0 <= i < NumShards).
+func (s *Simulation) Shard(i int) *Shard { return s.shards[i] }
+
+// Main returns shard 0, the default owner of all legacy single-queue
+// workloads.
+func (s *Simulation) Main() *Shard { return s.main }
+
+// SetLookahead sets the conservative window width used to bound parallel
+// advancement and the minimum delay of every Post. L must be positive;
+// +Inf (the default) disables cross-shard traffic entirely. Must be called
+// outside Run.
+func (s *Simulation) SetLookahead(L float64) {
+	if s.running {
+		panic("sim: SetLookahead during Run")
+	}
+	if !(L > 0) {
+		panic(fmt.Sprintf("sim: SetLookahead(%g): lookahead must be positive", L))
+	}
+	s.lookahead = L
+}
+
+// Lookahead reports the configured lookahead window width.
+func (s *Simulation) Lookahead() float64 { return s.lookahead }
+
+// SetWorkers bounds how many shards execute concurrently inside one
+// lookahead window; w < 1 is clamped to 1 (fully sequential). The results
+// are byte-identical at every worker count. Must be called outside Run.
+func (s *Simulation) SetWorkers(w int) {
+	if s.running {
+		panic("sim: SetWorkers during Run")
+	}
+	if w < 1 {
+		w = 1
+	}
+	s.workers = w
+}
+
+// SetStrictCancel makes a stale Event.Cancel or Event.Canceled (a handle
+// whose event already fired or was reaped and recycled) panic instead of
+// being a no-op — a debug mode for flushing out use-after-fire bugs.
+func (s *Simulation) SetStrictCancel(on bool) { s.strictCancel = on }
+
+// Now returns the current virtual time of the main shard (shard 0). In a
+// single-shard simulation this is the simulation clock; multi-shard
+// workloads read their own Shard.Now instead.
+func (s *Simulation) Now() Time { return s.main.now }
+
+// Horizon returns the maximum clock over all shards: how far the
+// simulation as a whole has advanced.
+func (s *Simulation) Horizon() Time {
+	h := s.shards[0].now
+	for _, sh := range s.shards[1:] {
+		if sh.now > h {
+			h = sh.now
+		}
+	}
+	return h
+}
+
+// EventsFired reports how many events have executed so far, over all
+// shards.
+func (s *Simulation) EventsFired() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.fired
+	}
+	return n
+}
+
+// Pending reports how many events are queued over all shards (including
+// canceled ones that have not yet been skipped and posts not yet delivered
+// to their target shard).
+func (s *Simulation) Pending() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.heap) + len(sh.outbox)
+	}
+	return n
+}
+
+// Schedule queues fn to run on the main shard at absolute virtual time at.
+// Scheduling in the past (before Now) panics: that is always a bug in the
+// caller.
+func (s *Simulation) Schedule(at Time, fn func()) Event {
+	return s.main.SchedulePriority(at, 0, fn)
+}
+
+// ScheduleAfter queues fn to run on the main shard d seconds from now.
+// Negative d panics.
+func (s *Simulation) ScheduleAfter(d Duration, fn func()) Event {
+	return s.main.ScheduleAfter(d, fn)
 }
 
 // SchedulePriority is Schedule with an explicit tie-break priority; among
 // events at the same instant, lower priority values run first.
-func (s *Simulation) SchedulePriority(at Time, priority int, fn func()) *Event {
-	if at < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
-	}
-	if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
-		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(at)))
-	}
-	e := s.newEvent()
-	e.at, e.priority, e.seq, e.fn = at, priority, s.seq, fn
-	s.seq++
-	s.heapPush(e)
-	return e
+func (s *Simulation) SchedulePriority(at Time, priority int, fn func()) Event {
+	return s.main.SchedulePriority(at, priority, fn)
 }
 
-// heapPush appends e and sifts it up to its ordered position.
-func (s *Simulation) heapPush(e *Event) {
-	q := append(s.queue, e)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(q[i], q[parent]) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
-	}
-	s.queue = q
-}
-
-// heapPop removes and returns the minimum event.
-func (s *Simulation) heapPop() *Event {
-	q := s.queue
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q[n] = nil
-	q = q[:n]
-	s.queue = q
-	// Sift the moved element down to restore the heap order.
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && eventLess(q[r], q[l]) {
-			m = r
-		}
-		if !eventLess(q[m], q[i]) {
-			break
-		}
-		q[i], q[m] = q[m], q[i]
-		i = m
-	}
-	return top
-}
-
-// Run drains the event queue until it is empty, advancing the clock to each
-// event's time before invoking it. Events may schedule further events.
+// Run drains every shard until no events remain, advancing each shard's
+// clock to its events' times. Events may schedule further events.
 func (s *Simulation) Run() {
 	s.RunUntil(Time(math.Inf(1)))
 }
 
-// RunUntil drains events with time <= limit. The clock is left at the last
-// executed event's time, or at limit when limit is finite and ahead of the
-// clock (RunUntil never moves the clock backwards: a limit already in the
-// past leaves the clock where it is).
+// RunUntil drains events with time <= limit, over all shards. Each shard's
+// clock is left at its last executed event's time, or at limit when limit
+// is finite and ahead of that clock (RunUntil never moves a clock
+// backwards: a limit already in the past leaves the clock where it is).
+//
+// Execution proceeds in conservative lookahead windows: with the earliest
+// pending event across all shards at Tmin, every shard drains its events in
+// [Tmin, Tmin+L) — where L is the configured lookahead — then cross-shard
+// posts are delivered and the next window starts. Because a Post sent at
+// time t arrives no earlier than t+L >= Tmin+L, shards cannot observe each
+// other inside a window, so the windows may execute shards concurrently
+// (SetWorkers) without changing any result. With the default L=+Inf the
+// whole run is one window, which reduces to the historical single-queue
+// semantics.
 func (s *Simulation) RunUntil(limit Time) {
 	if s.running {
 		panic("sim: Run re-entered")
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.at > limit {
-			if !math.IsInf(float64(limit), 1) && limit > s.now {
-				s.now = limit
-			}
-			return
+	for {
+		s.flushPosts()
+		min := s.peekMin()
+		if min == nil {
+			break
 		}
-		s.heapPop()
-		if next.canceled {
-			s.recycle(next)
-			continue
+		tmin := min.heap[0].at
+		if tmin > limit {
+			break
 		}
-		s.now = next.at
-		s.fired++
-		fn := next.fn
-		next.fn = nil
-		fn()
-		s.recycle(next)
+		// The window bound: exclusive at Tmin+L, unless the caller's limit
+		// cuts in first — the limit itself is inclusive, matching the
+		// historical "drain events with time <= limit" contract.
+		bound, inclusive := tmin+Time(s.lookahead), false
+		if !(bound <= limit) {
+			bound, inclusive = limit, true
+		}
+		s.drainWindow(bound, inclusive)
 	}
-	if !math.IsInf(float64(limit), 1) && limit > s.now {
-		s.now = limit
+	if !math.IsInf(float64(limit), 1) {
+		for _, sh := range s.shards {
+			if limit > sh.now {
+				sh.now = limit
+			}
+		}
 	}
 }
 
-// Step executes exactly one pending (non-canceled) event and reports whether
-// one was executed.
-func (s *Simulation) Step() bool {
-	for len(s.queue) > 0 {
-		next := s.heapPop()
-		if next.canceled {
-			s.recycle(next)
+// peekMin returns the shard whose head event is globally earliest by
+// (time, priority, sequence, shard index), or nil when every heap is empty.
+func (s *Simulation) peekMin() *Shard {
+	var best *Shard
+	for _, sh := range s.shards {
+		if len(sh.heap) == 0 {
 			continue
 		}
-		s.now = next.at
-		s.fired++
-		fn := next.fn
-		next.fn = nil
+		if best == nil || headBefore(sh, best) {
+			best = sh
+		}
+	}
+	return best
+}
+
+// headBefore reports whether a's head event merges before b's. The shard
+// index is the final tie-break; per-shard sequence counters make the first
+// three keys identical however the run is executed.
+func headBefore(a, b *Shard) bool {
+	x, y := &a.heap[0], &b.heap[0]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	if x.pri != y.pri {
+		return x.pri < y.pri
+	}
+	if x.seq != y.seq {
+		return x.seq < y.seq
+	}
+	return a.idx < b.idx
+}
+
+// drainWindow executes every shard's events inside the window.
+//
+// Sequentially (workers=1) the shards interleave in the global
+// lowest-(time, priority, sequence, shard) merge order — a multi-shard
+// simulation stepped serially behaves like one big event queue. With
+// workers > 1 each shard drains its window independently (possibly
+// concurrently): the per-shard event sequences are identical to the merged
+// order's, so any state observed through the shard-ownership rules — which
+// is all state, for a conforming workload — sees the exact same history.
+func (s *Simulation) drainWindow(bound Time, inclusive bool) {
+	if len(s.shards) == 1 {
+		// Fast path: no merge scan per event, exactly the historical loop.
+		sh := s.main
+		s.draining = sh
+		sh.drain(bound, inclusive)
+		s.draining = nil
+		return
+	}
+	if s.workers > 1 {
+		busy := 0
+		var lone *Shard
+		for _, sh := range s.shards {
+			if sh.eligible(bound, inclusive) {
+				busy++
+				lone = sh
+			}
+		}
+		if busy > 1 {
+			s.drainWindowParallel(bound, inclusive)
+			return
+		}
+		if busy == 1 {
+			s.draining = lone
+			lone.drain(bound, inclusive)
+			s.draining = nil
+		}
+		return
+	}
+	for {
+		min := s.peekMin()
+		if min == nil || !min.eligible(bound, inclusive) {
+			return
+		}
+		s.draining = min
+		min.drainOne()
+		s.draining = nil
+	}
+}
+
+// flushPosts delivers every shard's outbox to the target shards, in
+// (sender shard index, send order) order. Flushing only happens at window
+// barriers, so target-shard sequence numbers are assigned identically
+// however the previous window was executed.
+func (s *Simulation) flushPosts() {
+	for _, sh := range s.shards {
+		if len(sh.outbox) == 0 {
+			continue
+		}
+		for i := range sh.outbox {
+			m := &sh.outbox[i]
+			if m.at < m.to.now {
+				panic(fmt.Sprintf("sim: post delivered at %v behind shard %d clock %v", m.at, m.to.idx, m.to.now))
+			}
+			m.to.enqueue(m.at, m.pri, m.fn)
+			m.to, m.fn = nil, nil
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+}
+
+// Step executes exactly one pending (non-canceled) event — the globally
+// earliest across all shards — and reports whether one was executed. Step
+// is a sequential debugging/test interface; it delivers pending posts
+// before picking the event.
+func (s *Simulation) Step() bool {
+	s.flushPosts()
+	for {
+		min := s.peekMin()
+		if min == nil {
+			return false
+		}
+		e := min.heapPop()
+		slot := e.slot
+		if slot.canceled {
+			min.recycle(slot)
+			continue
+		}
+		min.now = e.at
+		min.fired++
+		fn := slot.fn
+		slot.fn = nil
+		s.draining = min
+		min.executing = true
 		fn()
-		s.recycle(next)
+		min.executing = false
+		s.draining = nil
+		min.recycle(slot)
 		return true
 	}
-	return false
 }
 
 // Rand returns the named deterministic random stream, creating it on first
 // use. Streams with the same name under the same simulation seed always
 // produce the same sequence, independent of other streams, so adding a new
 // consumer of randomness does not perturb existing experiments.
+//
+// Streams must be created during setup or sequential execution; the first
+// use of a new name inside a parallel window panics (the stream map is
+// shared across shards and only safe to read concurrently). A stream
+// should be drawn from by a single shard.
 func (s *Simulation) Rand(name string) *Rand {
 	if r, ok := s.rng[name]; ok {
 		return r
+	}
+	if s.parallelActive {
+		panic(fmt.Sprintf("sim: Rand(%q) would create a stream inside a parallel window; create streams during setup", name))
 	}
 	r := NewRand(s.seed ^ hashString(name))
 	s.rng[name] = r

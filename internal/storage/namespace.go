@@ -1,0 +1,31 @@
+package storage
+
+// Namespaced is a key-prefixed view of a shared Store: tenant t's
+// checkpoint "ckpt/3" lives under "<prefix>/ckpt/3", so many tenants (one
+// per kernel shard in the sharded macro scenarios) can share one Store
+// without key collisions. The underlying Store's mutex makes concurrent
+// cross-shard access safe, and because every value is keyed, the final
+// contents are independent of the interleaving — only the shared operation
+// counters accumulate across tenants (sums, so order-independent too).
+type Namespaced struct {
+	st     *Store
+	prefix string
+}
+
+// Namespace returns a view of st whose keys are transparently prefixed
+// with prefix + "/".
+func (st *Store) Namespace(prefix string) *Namespaced {
+	return &Namespaced{st: st, prefix: prefix + "/"}
+}
+
+// Prefix returns the namespace prefix, including the trailing separator.
+func (n *Namespaced) Prefix() string { return n.prefix }
+
+// Put stores a copy of vec under the namespaced key.
+func (n *Namespaced) Put(key string, vec []float64) { n.st.Put(n.prefix+key, vec) }
+
+// Get returns a copy of the vector under the namespaced key, or ok=false.
+func (n *Namespaced) Get(key string) ([]float64, bool) { return n.st.Get(n.prefix + key) }
+
+// Delete removes the namespaced key; deleting an absent key is a no-op.
+func (n *Namespaced) Delete(key string) { n.st.Delete(n.prefix + key) }

@@ -1,0 +1,35 @@
+package storage
+
+import "testing"
+
+func TestNamespacedViewsAreDisjoint(t *testing.T) {
+	st := NewStore()
+	a, b := st.Namespace("tenant-a"), st.Namespace("tenant-b")
+	a.Put("ckpt/0", []float64{1, 2})
+	b.Put("ckpt/0", []float64{3})
+
+	got, ok := a.Get("ckpt/0")
+	if !ok || len(got) != 2 || got[0] != 1 {
+		t.Fatalf("a.Get = %v, %v; want [1 2]", got, ok)
+	}
+	if got, ok := b.Get("ckpt/0"); !ok || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("b.Get = %v, %v; want [3]", got, ok)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 distinct namespaced keys", st.Len())
+	}
+	if _, ok := st.Get("tenant-a/ckpt/0"); !ok {
+		t.Fatal("namespaced key not visible under its full name")
+	}
+
+	a.Delete("ckpt/0")
+	if _, ok := a.Get("ckpt/0"); ok {
+		t.Fatal("a's key survived Delete")
+	}
+	if _, ok := b.Get("ckpt/0"); !ok {
+		t.Fatal("Delete in namespace a removed b's key")
+	}
+	if p := a.Prefix(); p != "tenant-a/" {
+		t.Fatalf("Prefix = %q", p)
+	}
+}

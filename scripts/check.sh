@@ -34,6 +34,16 @@ echo "== determinism gate (parallel == serial, kernel == reference heap)"
 go test -run 'TestParallelOutputsMatchSerial|TestRunAllPreservesRequestOrder' .
 go test -run 'TestKernelMatchesReferenceHeap|TestRunUntilNeverMovesClockBackwards' ./internal/sim/
 
+echo "== shard determinism gate (byte-identical at every shard count and worker count)"
+go test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
+go test -run 'TestMacroDayShardMatrix' ./internal/experiments/
+go build -o /tmp/cebench.check ./cmd/cebench
+/tmp/cebench.check -shards 1 -sim-workers 1 macro-day 2>/dev/null > /tmp/cebench.shards1.txt
+/tmp/cebench.check -shards 8 -sim-workers 8 macro-day 2>/dev/null > /tmp/cebench.shards8.txt
+cmp /tmp/cebench.shards1.txt /tmp/cebench.shards8.txt || {
+	echo "cebench macro-day stdout differs between shards=1 and shards=8/workers=8"; exit 1;
+}
+
 echo "== trace-check (observability export byte-identical across -parallel)"
 sh scripts/trace_check.sh
 
