@@ -34,21 +34,27 @@ trace-check:
 	sh scripts/trace_check.sh
 
 # shard-check: the sharded-kernel determinism gate. Runs the kernel's
-# cross-shard workload matrix and the macro-day scenario across shard and
-# worker counts, requiring event-for-event equivalence with the single-queue
-# reference and byte-identical tables, traces and metrics everywhere.
+# cross-shard workload matrix plus the macro-day (event-path) and macro-fleet
+# (control-path) scenarios across shard and worker counts, requiring
+# event-for-event equivalence with the single-queue reference and
+# byte-identical tables, traces and metrics everywhere.
 shard-check:
 	$(GO) test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
-	$(GO) test -run 'TestMacroDayShardMatrix' ./internal/experiments/
+	$(GO) test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix' ./internal/experiments/
 
 # Smoke-run the numeric-path benchmarks (ml kernels, dataset caches, DES
-# kernel) at a fixed small iteration count: fast enough for CI, enough to
-# catch kernels that re-grow allocations. scripts/bench.sh does the real
-# measured runs into BENCH_PR*.json.
+# kernel, decision path) at a fixed small iteration count: fast enough for
+# CI, enough to catch kernels that re-grow allocations. The zero-alloc gates
+# (testing.AllocsPerRun on the steady-state fit/observe/decision paths) run
+# first and fail hard if the hot paths touch the heap. scripts/bench.sh does
+# the real measured runs into BENCH_PR*.json.
 bench:
+	$(GO) test -run 'TestFitterZeroAlloc|TestFixedWindowObserveZeroAlloc|TestDecisionZeroAlloc' \
+		./internal/fit/ ./internal/predictor/ ./internal/scheduler/
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=100x \
 		./internal/ml/ ./internal/dataset/
-	$(GO) test -run '^$$' -bench . -benchtime=100x ./internal/sim/ ./internal/cost/
+	$(GO) test -run '^$$' -bench . -benchtime=100x \
+		./internal/sim/ ./internal/cost/ ./internal/fit/ ./internal/scheduler/
 
 benchfull:
 	$(GO) test -bench=. -benchtime=1x ./...

@@ -61,6 +61,7 @@ func run() int {
 	simWorkers := flag.Int("sim-workers", 0, "concurrent shards per conservative window (0 = scenario default)")
 	macroTenants := flag.Int("macro-tenants", 0, "macro-day tenant count (0 = default 32)")
 	macroPerTenant := flag.Int("macro-per-tenant", 0, "macro-day invocations per tenant (0 = default 1500)")
+	fleetTenants := flag.Int("fleet-tenants", 0, "macro-fleet concurrent controller count (0 = default 48)")
 	rusage := flag.Bool("rusage", false, "report peak RSS (VmHWM) to stderr after the run")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv|html] [-parallel P] <experiment-id>... | all | list\n\nexperiments:\n")
@@ -123,6 +124,7 @@ func run() int {
 	experiments.SetParallelism(*parallel)
 	experiments.SetMacroSharding(*shards, *simWorkers)
 	experiments.SetMacroScale(*macroTenants, *macroPerTenant)
+	experiments.SetFleetScale(*fleetTenants)
 	start := time.Now()
 	outcomes := experiments.RunAll(ids, *seed)
 	total := time.Since(start)

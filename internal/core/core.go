@@ -29,6 +29,10 @@ type Framework struct {
 	// Full is the feasible allocation enumeration; Pareto its boundary.
 	Full   []cost.Point
 	Pareto []cost.Point
+	// Frontier is the boundary as an immutable shared view, interned per
+	// model configuration: every scheduler session of every framework with
+	// the same workload/pricing/grid shares this one instance.
+	Frontier *cost.Frontier
 }
 
 // New profiles the workload over the default grid.
@@ -39,13 +43,13 @@ func New(w *workload.Model) *Framework {
 // NewWithGrid profiles the workload over an explicit grid.
 func NewWithGrid(w *workload.Model, g cost.Grid) *Framework {
 	m := cost.NewModel(w)
-	full := m.Enumerate(g)
 	return &Framework{
 		Workload: w,
 		Model:    m,
 		Grid:     g,
-		Full:     full,
-		Pareto:   cost.Pareto(full),
+		Full:     m.Enumerate(g),
+		Pareto:   m.ParetoSet(g),
+		Frontier: m.ParetoFrontier(g),
 	}
 }
 
@@ -171,9 +175,20 @@ type TrainOutcome struct {
 // newSchedulerSession builds an adaptive scheduling session for opt and
 // returns the scheduler, its initial allocation and the offline estimate.
 func (f *Framework) newSchedulerSession(opt Options) (*scheduler.Scheduler, cost.Allocation, int, error) {
+	// The plain Pareto case hands the session the shared immutable frontier
+	// — no per-session copy; pinned or full-enumeration sessions get their
+	// private candidate slice as before.
+	var frontier *cost.Frontier
+	var candidates []cost.Point
+	if opt.PinStorage == nil && !opt.DisablePareto {
+		frontier = f.Frontier
+	} else {
+		candidates = f.candidates(opt)
+	}
 	sched := scheduler.New(scheduler.Config{
 		Model:          f.Model,
-		Candidates:     f.candidates(opt),
+		Candidates:     candidates,
+		Frontier:       frontier,
 		Budget:         opt.Budget,
 		QoS:            opt.QoS,
 		TargetLoss:     f.Workload.TargetLoss,

@@ -37,9 +37,12 @@ func (a Allocation) String() string {
 // Per-allocation epoch estimates and per-grid Pareto sets are memoized: the
 // adaptive scheduler (Algorithm 2) re-derives them on every δ-triggered
 // recompute and the planner probes the same allocations thousands of times.
-// The caches assume the model is configured once and then treated as
-// immutable: mutate LoadMBps / StragglerSigma only before the first
-// estimate call. The caches are safe for concurrent readers.
+// Grid allocations live in a dense per-grid table built once by the first
+// Enumerate/ParetoSet/ParetoFrontier call (one map probe + slice index per
+// lookup); off-grid allocations fall back to a sync.Map. The caches assume
+// the model is configured once and then treated as immutable: mutate
+// LoadMBps / StragglerSigma only before the first estimate call. The caches
+// are safe for concurrent readers.
 type Model struct {
 	Workload *workload.Model
 	Prices   pricing.PriceBook
@@ -58,8 +61,9 @@ type Model struct {
 
 	services map[storage.Kind]*storage.Service
 
-	epochMemo  sync.Map // Allocation -> epochEst
-	paretoMemo sync.Map // grid signature string -> []Point (never mutated)
+	epochMemo sync.Map     // off-grid Allocation -> epochEst
+	mu        sync.Mutex   // guards table builds
+	tables    atomic.Value // []*gridTable, copy-on-write append
 }
 
 // epochEst is the memoized per-epoch (t'(θ), c'(θ)) pair. Time and cost are
@@ -71,16 +75,29 @@ type epochEst struct {
 }
 
 // epochEstimates returns the memoized estimates for θ, computing them once.
-// Concurrent first calls may both compute; the arithmetic is deterministic,
-// so whichever Store wins holds the same value.
+// Grid allocations resolve through the dense table; off-grid probes fall
+// back to the sync.Map. Concurrent first calls may both compute; the
+// arithmetic is deterministic, so whichever Store wins holds the same value.
 func (m *Model) epochEstimates(a Allocation) epochEst {
+	if ts, _ := m.tables.Load().([]*gridTable); ts != nil {
+		for _, t := range ts {
+			if idx, ok := t.index[a]; ok {
+				return t.est[idx]
+			}
+		}
+	}
 	if v, ok := m.epochMemo.Load(a); ok {
 		return v.(epochEst)
 	}
-	t := m.ComputeTime(a) + m.SyncTime(a)
-	e := epochEst{time: t, cost: m.functionEpochCost(a, t) + m.storageEpochCost(a, t)}
+	e := m.computeEpochEst(a)
 	m.epochMemo.Store(a, e)
 	return e
+}
+
+// computeEpochEst evaluates (t'(θ), c'(θ)) from scratch.
+func (m *Model) computeEpochEst(a Allocation) epochEst {
+	t := m.ComputeTime(a) + m.SyncTime(a)
+	return epochEst{time: t, cost: m.functionEpochCost(a, t) + m.storageEpochCost(a, t)}
 }
 
 // NewModel returns an analytic model for w under default prices and limits.
@@ -259,15 +276,29 @@ func DefaultGrid() Grid {
 	}
 }
 
-// Enumerate evaluates every feasible allocation of the grid. The grid
-// points are independent, so a bounded worker pool (one worker per
-// available CPU) evaluates them concurrently into index-addressed slots
-// that are merged in grid order (n, then memory, then storage) — the
-// output is byte-identical to a serial scan.
+// Enumerate evaluates every feasible allocation of the grid in grid order
+// (n, then memory, then storage). The evaluation happens once per grid into
+// the dense table (parallel scan, merged in grid order — byte-identical to
+// a serial scan); subsequent calls return a fresh copy of the table's
+// points.
 func (m *Model) Enumerate(g Grid) []Point {
 	total := len(g.Ns) * len(g.MemsMB) * len(g.Storages)
 	if total == 0 {
 		return nil
+	}
+	t := m.ensureTable(g)
+	out := make([]Point, len(t.points))
+	copy(out, t.points)
+	return out
+}
+
+// scanGrid evaluates every grid point into index-addressed slots. The grid
+// points are independent, so a bounded worker pool (one worker per
+// available CPU) evaluates them concurrently.
+func (m *Model) scanGrid(g Grid) (slots []Point, feasible []bool) {
+	total := len(g.Ns) * len(g.MemsMB) * len(g.Storages)
+	if total == 0 {
+		return nil, nil
 	}
 	at := func(idx int) Allocation {
 		k := idx % len(g.Storages)
@@ -283,8 +314,8 @@ func (m *Model) Enumerate(g Grid) []Point {
 	if max := (total + chunk - 1) / chunk; workers > max {
 		workers = max
 	}
-	slots := make([]Point, total)
-	feasible := make([]bool, total)
+	slots = make([]Point, total)
+	feasible = make([]bool, total)
 	if workers <= 1 {
 		enumerateRange(m, g, at, slots, feasible, 0, total)
 	} else {
@@ -311,13 +342,7 @@ func (m *Model) Enumerate(g Grid) []Point {
 		}
 		wg.Wait()
 	}
-	out := make([]Point, 0, total)
-	for idx, ok := range feasible {
-		if ok {
-			out = append(out, slots[idx])
-		}
-	}
-	return out
+	return slots, feasible
 }
 
 // enumerateRange evaluates grid points [lo, hi) into their slots.
@@ -327,7 +352,7 @@ func enumerateRange(m *Model, g Grid, at func(int) Allocation, slots []Point, fe
 		if !m.Feasible(a) {
 			continue
 		}
-		est := m.epochEstimates(a)
+		est := m.computeEpochEst(a)
 		slots[idx] = Point{Alloc: a, Time: est.time, Cost: est.cost}
 		feasible[idx] = true
 	}
@@ -359,14 +384,17 @@ func Pareto(points []Point) []Point {
 	if len(points) == 0 {
 		return nil
 	}
-	sorted := make([]Point, len(points))
-	copy(sorted, points)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Time != sorted[j].Time {
-			return sorted[i].Time < sorted[j].Time
-		}
-		return sorted[i].Cost < sorted[j].Cost
-	})
+	sorted := points
+	if !strictlySorted(points) {
+		sorted = make([]Point, len(points))
+		copy(sorted, points)
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].Time != sorted[j].Time {
+				return sorted[i].Time < sorted[j].Time
+			}
+			return sorted[i].Cost < sorted[j].Cost
+		})
+	}
 	var front []Point
 	best := sorted[0].Cost + 1
 	for _, p := range sorted {
@@ -378,22 +406,39 @@ func Pareto(points []Point) []Point {
 	return front
 }
 
-// ParetoSet enumerates the grid and returns its Pareto boundary — the 𝒫 of
-// Table III that every optimization searches instead of the full Θ. The
-// boundary is memoized per grid; the caller receives a fresh copy it may
-// mutate freely.
-func (m *Model) ParetoSet(g Grid) []Point {
-	key := gridKey(g)
-	if v, ok := m.paretoMemo.Load(key); ok {
-		return append([]Point(nil), v.([]Point)...)
+// strictlySorted reports whether points are strictly increasing in the
+// (Time, Cost) lexicographic order Pareto sorts by. On such input the sweep
+// can run on the points directly (read-only) and skip the copy+sort: the
+// sort would be the identity permutation, and strictness rules out equal
+// (Time, Cost) pairs, the only elements an unstable sort may reorder. This
+// makes re-deriving a boundary from an already-ordered frontier O(P).
+func strictlySorted(points []Point) bool {
+	for i := 1; i < len(points); i++ {
+		p, q := &points[i-1], &points[i]
+		if p.Time < q.Time {
+			continue
+		}
+		if p.Time > q.Time || p.Cost >= q.Cost {
+			return false
+		}
 	}
-	front := Pareto(m.Enumerate(g))
-	m.paretoMemo.Store(key, front)
-	return append([]Point(nil), front...)
+	return true
 }
 
-// gridKey is a canonical signature of a grid, used as the ParetoSet cache
-// key. Grids that differ only in slice identity hash the same.
+// ParetoSet enumerates the grid and returns its Pareto boundary — the 𝒫 of
+// Table III that every optimization searches instead of the full Θ. The
+// boundary is derived once per grid (and shared via the frontier intern);
+// the caller receives a fresh copy it may mutate freely. Callers that can
+// honor the no-mutation contract should prefer ParetoFrontier, which skips
+// the copy.
+func (m *Model) ParetoSet(g Grid) []Point {
+	return append([]Point(nil), m.ParetoFrontier(g).Points()...)
+}
+
+// gridKey is a canonical signature of a grid, used (with the model
+// signature) as the frontier intern key. Grids that differ only in slice
+// identity hash the same. It is computed once per gridTable, not per
+// lookup — table lookups compare the grid slices directly.
 func gridKey(g Grid) string {
 	return fmt.Sprintf("%v|%v|%v", g.Ns, g.MemsMB, g.Storages)
 }

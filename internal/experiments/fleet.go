@@ -1,0 +1,430 @@
+package experiments
+
+// macro-fleet is the control-path macro scenario: T complete Algorithm-2
+// controllers — each with its own online curve fitter, drift detector and
+// constrained Pareto selection — training concurrently as tenants of one
+// shared serverless account. It is the workload the PR7 fleet-cheap work
+// exists for: where macro-day stresses the *kernel* with millions of cheap
+// events, macro-fleet multiplies the per-epoch *decision* (fit -> predict ->
+// select -> log) by the tenant count, so decisions/sec is the headline
+// number (scripts/bench.sh parses "decisions=" from the table notes).
+//
+// Sharing layout:
+//
+//   - Tenants of the same model class share one cost.Model and one interned
+//     cost.Frontier (scheduler.Config.Frontier) — the candidate set is a
+//     single immutable array searched in place by every controller.
+//   - All tenants share one faas.Platform (the account) owned by kernel
+//     shard 0. Function groups are acquired at job start and at every
+//     scheduler restart via sim.Post round trips, so account state mutates
+//     only in shard-0 events whose order is pinned by (time, priority).
+//   - Everything else — scheduler, predictor buffers, loss stream, budget
+//     accounting — is tenant-private on the tenant's shard (t % shards).
+//
+// Determinism: every event that can share a timestamp with another tenant's
+// event carries a globally unique priority (band + tenant id), so the
+// kernel's (time, priority) merge order is independent of the shard and
+// worker configuration; the table is byte-identical at every setting.
+//
+// Scaling note: the registered default is 48 tenants so smoke tests run in
+// milliseconds; scripts/bench.sh and scripts/check.sh raise it to >=1000
+// via SetFleetScale / cebench -fleet-tenants.
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/cost"
+	"repro/internal/faas"
+	"repro/internal/obs"
+	"repro/internal/platform/simbackend"
+	"repro/internal/predictor"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/trainer"
+	"repro/internal/workload"
+)
+
+func init() { register("macro-fleet", runMacroFleet) }
+
+// fleetTenantCount overrides the macro-fleet population; zero means the
+// registered default (48). Sharding reuses the macro knobs (SetMacroSharding
+// / cebench -shards, -sim-workers).
+var fleetTenantCount atomic.Int64
+
+// SetFleetScale overrides the macro-fleet tenant count (0 = default 48).
+func SetFleetScale(tenants int) { fleetTenantCount.Store(int64(tenants)) }
+
+const (
+	fleetLookahead = 5.0 // conservative window: every cross-shard Post delay
+	fleetStagger   = 2.0 // seconds between consecutive tenants' job starts
+	fleetMaxRetry  = 8   // invoke attempts per group request before a drop
+	fleetMaxEpochs = 400 // hard cap per job (targets converge in tens)
+
+	// Priority bands (+ tenant id within each): releases beat invokes at
+	// equal timestamps so freed capacity is visible to same-instant requests.
+	priFleetEpoch   = 0
+	priFleetRelease = 1_000_000
+	priFleetInvoke  = 2_000_000
+	priFleetRetry   = 3_000_000
+	priFleetGrant   = 4_000_000
+)
+
+// fleetTuning is the predictor configuration every fleet controller runs:
+// bounded history, warm-started refits with a small LM budget — the
+// zero-alloc steady state BenchmarkDecisionFleet measures.
+var fleetTuning = predictor.Tuning{FixedWindow: 32, WarmStart: true, RefitBudget: 10}
+
+// fleetClass is the per-model-class shared state: one analytic cost model,
+// one interned Pareto frontier, one offline predictor — all read-only during
+// the run, shared by every tenant of the class.
+type fleetClass struct {
+	w       *workload.Model
+	model   *cost.Model
+	front   *cost.Frontier
+	byAlloc map[cost.Allocation]cost.Point
+	offline *predictor.Offline
+
+	nomEpochs int     // noiseless epochs to the class target
+	cheapCost float64 // cheapest per-epoch cost on the frontier
+	fastTime  float64 // fastest per-epoch time on the frontier
+}
+
+// fleetAccount is the shared serverless account on shard 0. All InvokeGroup
+// and ReleaseGroup calls happen inside shard-0 events, so the platform's
+// warm pool, meter and concurrency gate mutate in one deterministic order.
+type fleetAccount struct {
+	sh      *sim.Shard
+	plat    *faas.Platform
+	denials uint64
+}
+
+// invoke tries to admit a tenant's function group, retrying with exponential
+// backoff while the account is at its concurrency cap; the grant (or the
+// final denial) posts back to the tenant's shard one lookahead later.
+func (ac *fleetAccount) invoke(tn *fleetTenant, n, memMB, attempt int) {
+	invs, err := ac.plat.InvokeGroup(n, memMB)
+	if err != nil {
+		ac.denials++
+		if attempt+1 >= fleetMaxRetry {
+			ac.sh.Post(tn.sh, ac.sh.Now()+sim.Time(fleetLookahead), priFleetGrant+tn.id, tn.denied)
+			return
+		}
+		at := ac.sh.Now() + sim.Time(math.Ldexp(fleetLookahead, attempt))
+		ac.sh.SchedulePriority(at, priFleetRetry+tn.id, func() { ac.invoke(tn, n, memMB, attempt+1) })
+		return
+	}
+	var delay float64
+	cold := 0
+	for _, inv := range invs {
+		if inv.StartDelay > delay {
+			delay = inv.StartDelay
+		}
+		if inv.Cold {
+			cold++
+		}
+	}
+	ac.sh.Post(tn.sh, ac.sh.Now()+sim.Time(fleetLookahead), priFleetGrant+tn.id, func() { tn.granted(delay, cold) })
+}
+
+// fleetTenant is one training job: a full CE-scaling scheduler plus the
+// simulated epoch loop that feeds it losses and carries out its decisions.
+type fleetTenant struct {
+	id    int
+	cl    *fleetClass
+	sh    *sim.Shard
+	ac    *fleetAccount
+	sched *scheduler.Scheduler
+	ctrl  trainer.Controller
+	loss  *sim.Rand
+	curve workload.CurveParams
+
+	budget, qos float64 // the tenant's binding constraint (other is 0)
+	target      float64
+
+	cur     cost.Point // allocation currently granted (or being requested)
+	pending cost.Point
+	grantAt sim.Time
+	startAt sim.Time
+
+	epoch     int
+	spent     float64
+	decisions uint64
+	restarts  uint64
+	cold      uint64
+	done      bool
+	converged bool
+	stopped   bool
+	dropped   bool
+	jct       float64
+}
+
+// lossAt mirrors workload's curveEngine: the tenant's jittered convergence
+// curve with multiplicative log-normal noise above the floor.
+func (tn *fleetTenant) lossAt(e int) float64 {
+	base := tn.curve.Eval(float64(e))
+	if tn.curve.Noise > 0 {
+		base = tn.curve.C + (base-tn.curve.C)*tn.loss.LogNormal(0, tn.curve.Noise)
+	}
+	return base
+}
+
+func (tn *fleetTenant) start() {
+	tn.startAt = tn.sh.Now()
+	tn.requestGroup(tn.cur)
+}
+
+// requestGroup posts an invoke request for p's allocation to the account;
+// epochs resume when the grant comes back.
+func (tn *fleetTenant) requestGroup(p cost.Point) {
+	tn.pending = p
+	at := tn.sh.Now() + sim.Time(fleetLookahead)
+	tn.sh.Post(tn.ac.sh, at, priFleetInvoke+tn.id, func() { tn.ac.invoke(tn, p.Alloc.N, p.Alloc.MemMB, 0) })
+}
+
+func (tn *fleetTenant) granted(startDelay float64, cold int) {
+	tn.cur = tn.pending
+	tn.grantAt = tn.sh.Now()
+	tn.cold += uint64(cold)
+	next := tn.sh.Now() + sim.Time(startDelay+tn.cur.Time)
+	tn.sh.SchedulePriority(next, priFleetEpoch+tn.id, tn.epochDone)
+}
+
+// releaseCurrent posts the held group back to the account with its held
+// wall-clock seconds (what the account bills as compute).
+func (tn *fleetTenant) releaseCurrent() {
+	held := float64(tn.sh.Now() - tn.grantAt)
+	p := tn.cur
+	at := tn.sh.Now() + sim.Time(fleetLookahead)
+	tn.sh.Post(tn.ac.sh, at, priFleetRelease+tn.id, func() { tn.ac.plat.ReleaseGroup(p.Alloc.N, p.Alloc.MemMB, held) })
+}
+
+// denied ends the job after the account refused a group fleetMaxRetry times
+// (any previously held group was already released before the request).
+func (tn *fleetTenant) denied() {
+	tn.done, tn.dropped = true, true
+	tn.jct = float64(tn.sh.Now() - tn.startAt)
+}
+
+// epochDone is the per-epoch tick: observe the loss, run the full
+// Algorithm-2 decision, then carry it out — stop, restart onto a new group,
+// or schedule the next epoch (charging the modeled planning overhead).
+func (tn *fleetTenant) epochDone() {
+	tn.epoch++
+	loss := tn.lossAt(tn.epoch)
+	tn.spent += tn.cur.Cost
+	elapsed := float64(tn.sh.Now() - tn.startAt)
+	dec := tn.ctrl(tn.epoch, loss, elapsed, tn.spent)
+	tn.decisions++
+	switch {
+	case loss <= tn.target:
+		tn.finish(true, false)
+	case dec.Stop:
+		tn.finish(false, true)
+	case tn.epoch >= fleetMaxEpochs:
+		tn.finish(false, false)
+	case dec.NewAlloc != nil:
+		np, ok := tn.cl.byAlloc[*dec.NewAlloc]
+		if !ok {
+			np = tn.cur // unreachable: the scheduler selects frontier points
+		}
+		tn.restarts++
+		tn.releaseCurrent()
+		tn.requestGroup(np)
+	default:
+		next := tn.sh.Now() + sim.Time(tn.cur.Time+dec.PlanningSeconds)
+		tn.sh.SchedulePriority(next, priFleetEpoch+tn.id, tn.epochDone)
+	}
+}
+
+func (tn *fleetTenant) finish(converged, stopped bool) {
+	tn.done, tn.converged, tn.stopped = true, converged, stopped
+	tn.jct = float64(tn.sh.Now() - tn.startAt)
+	tn.releaseCurrent()
+}
+
+func runMacroFleet(seed uint64) (*Table, error) {
+	tenants := int(fleetTenantCount.Load())
+	if tenants <= 0 {
+		tenants = 48
+	}
+	shards := int(macroShards.Load())
+	workers := int(macroWorkers.Load())
+	if shards <= 0 {
+		shards = 8
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+
+	b := simbackend.New(seed)
+	b.ConfigureSharding(shards, workers, fleetLookahead)
+	s := b.Sim()
+	collector := activeCollector.Load()
+
+	grid := cost.DefaultGrid()
+	classModels := []*workload.Model{workload.MobileNet(), workload.ResNet50(), workload.BERT()}
+	classes := make([]*fleetClass, len(classModels))
+	for i, w := range classModels {
+		m := cost.NewModel(w)
+		front := m.ParetoFrontier(grid)
+		if front.Len() == 0 {
+			return nil, fmt.Errorf("macro-fleet: empty Pareto frontier for %s", w.Name)
+		}
+		byAlloc := make(map[cost.Allocation]cost.Point, front.Len())
+		cheap, fast := math.Inf(1), math.Inf(1)
+		for _, p := range front.Points() {
+			byAlloc[p.Alloc] = p
+			if p.Cost < cheap {
+				cheap = p.Cost
+			}
+			if p.Time < fast {
+				fast = p.Time
+			}
+		}
+		nom, ok := w.Curve.EpochsToReach(w.TargetLoss)
+		if !ok {
+			return nil, fmt.Errorf("macro-fleet: %s target %g below its curve floor", w.Name, w.TargetLoss)
+		}
+		classes[i] = &fleetClass{
+			w: w, model: m, front: front, byAlloc: byAlloc,
+			offline:   predictor.NewOffline(w),
+			nomEpochs: nom, cheapCost: cheap, fastTime: fast,
+		}
+	}
+
+	// Build every tenant's scheduler and initial allocation first (setup is
+	// deterministic in tenant order), so the account's concurrency cap can be
+	// sized below the fleet's aggregate initial demand — real contention:
+	// denials, backoff retries, and drops under pressure.
+	fleet := make([]*fleetTenant, tenants)
+	totalN := 0
+	for t := 0; t < tenants; t++ {
+		name := obs.ScopeName("macro-fleet", "t", t, tenants)
+		cl := classes[t%len(classes)]
+		shape := s.Rand(name + "/shape")
+		cp := cl.w.Curve
+		cp.A *= shape.LogNormal(0, 0.10) // per-tenant convergence-speed draw
+		var budget, qos float64
+		if t%2 == 0 {
+			budget = float64(cl.nomEpochs) * cl.cheapCost * (1.2 + 0.8*shape.Float64())
+		} else {
+			qos = float64(cl.nomEpochs) * cl.fastTime * (1.5 + 2.5*shape.Float64())
+		}
+		cfg := scheduler.Config{
+			Model:        cl.model,
+			Frontier:     cl.front,
+			Budget:       budget,
+			QoS:          qos,
+			TargetLoss:   cl.w.TargetLoss,
+			OnlineTuning: &fleetTuning,
+			Offline:      cl.offline,
+			OfflineSeed:  seed ^ (uint64(t)*0x9e3779b97f4a7c15 + 1),
+		}
+		if collector != nil {
+			cfg.Obs = collector.Scope(name)
+		}
+		sched := scheduler.New(cfg)
+		alloc, _ := sched.Initial()
+		p, ok := cl.byAlloc[alloc]
+		if !ok {
+			return nil, fmt.Errorf("macro-fleet: tenant %d initial allocation %v not on the class frontier", t, alloc)
+		}
+		fleet[t] = &fleetTenant{
+			id: t, cl: cl, sh: s.Shard(t % shards),
+			sched: sched, ctrl: sched.Controller(),
+			loss: s.Rand(name + "/loss"), curve: cp,
+			budget: budget, qos: qos, target: cl.w.TargetLoss,
+			cur: p,
+		}
+		totalN += alloc.N
+	}
+
+	capacity := totalN * 4 / 5
+	if capacity < 64 {
+		capacity = 64
+	}
+	limits := faas.DefaultLimits()
+	limits.MaxConcurrency = capacity
+	acPlat := b.TenantPlatform("macro-fleet/account", 0, limits)
+	if collector != nil {
+		acPlat.SetObserver(collector.Scope("macro-fleet/account"))
+	}
+	ac := &fleetAccount{sh: acPlat.Shard(), plat: acPlat}
+	for _, tn := range fleet {
+		tn.ac = ac
+		tn.sh.SchedulePriority(sim.Time(fleetStagger*float64(tn.id+1)), priFleetEpoch+tn.id, tn.start)
+	}
+
+	s.Run()
+
+	if n := s.Pending(); n != 0 {
+		return nil, fmt.Errorf("macro-fleet: %d events still pending after Run", n)
+	}
+
+	// Aggregate per class, always in tenant order so every float sum has a
+	// fixed term order.
+	type classRow struct {
+		tenants, conv, bMet, qMet, dropped int
+		restarts, decisions                uint64
+		spent                              float64
+	}
+	rows := make([]classRow, len(classes))
+	var total classRow
+	var totalDecisions uint64
+	for t, tn := range fleet {
+		c := &rows[t%len(classes)]
+		c.tenants++
+		if tn.converged {
+			c.conv++
+		}
+		if tn.budget > 0 && tn.spent <= tn.budget && !tn.dropped {
+			c.bMet++
+		}
+		if tn.qos > 0 && tn.jct <= tn.qos && !tn.dropped {
+			c.qMet++
+		}
+		if tn.dropped {
+			c.dropped++
+		}
+		c.restarts += tn.restarts
+		c.decisions += tn.decisions
+		c.spent += tn.spent
+		totalDecisions += tn.decisions
+	}
+	for _, c := range rows {
+		total.tenants += c.tenants
+		total.conv += c.conv
+		total.bMet += c.bMet
+		total.qMet += c.qMet
+		total.dropped += c.dropped
+		total.restarts += c.restarts
+		total.decisions += c.decisions
+		total.spent += c.spent
+	}
+
+	row := func(label string, c classRow) []string {
+		return []string{
+			label, fmt.Sprintf("%d", c.tenants), fmt.Sprintf("%d", c.conv),
+			fmt.Sprintf("%d", c.bMet), fmt.Sprintf("%d", c.qMet),
+			fmt.Sprintf("%d", c.restarts), fmt.Sprintf("%d", c.dropped),
+			fmt.Sprintf("%d", c.decisions), f4(c.spent),
+		}
+	}
+	tab := &Table{
+		ID:      "macro-fleet",
+		Title:   "Macro fleet: concurrent Algorithm-2 controllers on one shared account",
+		Headers: []string{"class", "tenants", "converged", "budget-met", "qos-met", "restarts", "dropped", "decisions", "modeled$"},
+	}
+	for i, c := range rows {
+		tab.Rows = append(tab.Rows, row(classes[i].w.Name, c))
+	}
+	tab.Rows = append(tab.Rows, row("TOTAL", total))
+	meter := acPlat.Meter()
+	tab.Notes = fmt.Sprintf(
+		"%d tenants x %d model classes on one shared account (concurrency cap %d, denials=%d, account compute $%.2f); each class shares one interned Pareto frontier; controllers run the fleet tuning (window %d, warm start, refit budget %d); decisions=%d; events=%d",
+		tenants, len(classes), capacity, ac.denials, meter.Total(),
+		fleetTuning.FixedWindow, fleetTuning.RefitBudget, totalDecisions, s.EventsFired())
+	return tab, nil
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// renderFleet runs macro-fleet at the given kernel configuration and returns
+// the rendered table plus the merged trace and metrics exports.
+func renderFleet(t *testing.T, seed uint64, shards, workers int) (table, trace, metrics string) {
+	t.Helper()
+	SetMacroSharding(shards, workers)
+	defer SetMacroSharding(0, 0)
+	c := obs.NewCollector()
+	SetCollector(c)
+	defer SetCollector(nil)
+
+	tab, err := Run("macro-fleet", seed)
+	if err != nil {
+		t.Fatalf("macro-fleet(shards=%d workers=%d): %v", shards, workers, err)
+	}
+	var tb, mb bytes.Buffer
+	if err := obs.WriteJSONL(&tb, c.Scopes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteMetricsJSON(&mb, c.Scopes()); err != nil {
+		t.Fatal(err)
+	}
+	return tab.String(), tb.String(), mb.String()
+}
+
+// TestMacroFleetShardMatrix is the PR7 control-path acceptance gate: the
+// fleet scenario's table, trace export (which includes every controller's
+// per-epoch decision log) and metrics export must be byte-identical at every
+// (shards, workers) combination.
+func TestMacroFleetShardMatrix(t *testing.T) {
+	SetFleetScale(12)
+	defer SetFleetScale(0)
+
+	refTab, refTrace, refMetrics := renderFleet(t, 11, 1, 1)
+	if len(refTrace) < 100 {
+		t.Fatalf("reference trace implausibly small: %d bytes", len(refTrace))
+	}
+	for _, shards := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 8} {
+			if shards == 1 && workers == 1 {
+				continue
+			}
+			name := fmt.Sprintf("shards=%d,workers=%d", shards, workers)
+			tab, trace, metrics := renderFleet(t, 11, shards, workers)
+			if tab != refTab {
+				t.Errorf("%s: table diverges from shards=1,workers=1:\n--- ref\n%s\n--- got\n%s", name, refTab, tab)
+			}
+			if trace != refTrace {
+				t.Errorf("%s: trace export diverges (%d vs %d bytes)", name, len(refTrace), len(trace))
+			}
+			if metrics != refMetrics {
+				t.Errorf("%s: metrics export diverges", name)
+			}
+		}
+	}
+}
+
+// TestMacroFleetSeedSensitivity guards against the scenario collapsing into
+// a constant: different seeds must draw different fleets.
+func TestMacroFleetSeedSensitivity(t *testing.T) {
+	SetFleetScale(9)
+	defer SetFleetScale(0)
+	a, err := Run("macro-fleet", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("macro-fleet", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("macro-fleet output identical across seeds")
+	}
+}
+
+// TestMacroFleetExercisesControl checks the default-scale scenario genuinely
+// stresses the Algorithm-2 control path: most tenants converge, the
+// schedulers issue restarts (which go through the shared account), every
+// tenant produces per-epoch decisions, and the shared account pushes back
+// (denials under the sized-down concurrency cap).
+func TestMacroFleetExercisesControl(t *testing.T) {
+	tab, err := Run("macro-fleet", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tab.Rows[len(tab.Rows)-1]
+	// Columns: class tenants converged budget-met qos-met restarts dropped decisions modeled$.
+	atoi := func(col int) int {
+		v, err := strconv.Atoi(total[col])
+		if err != nil {
+			t.Fatalf("column %d %q: %v", col, total[col], err)
+		}
+		return v
+	}
+	tenants := atoi(1)
+	if conv := atoi(2); conv < tenants/2 {
+		t.Errorf("only %d/%d tenants converged", conv, tenants)
+	}
+	if atoi(5) == 0 {
+		t.Error("no restarts: controllers never adjusted allocations")
+	}
+	if dec := atoi(7); dec < tenants*4 {
+		t.Errorf("implausibly few decisions (%d) for %d tenants", dec, tenants)
+	}
+	if atoi(3) == 0 || atoi(4) == 0 {
+		t.Error("no tenants met their budget/QoS constraints")
+	}
+}

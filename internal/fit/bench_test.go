@@ -26,3 +26,44 @@ func BenchmarkFitPowerLaw(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkFitterCold is the zero-alloc replacement for the package Fit on
+// the same dataset as BenchmarkFitInverseLinear (bit-identical results).
+func BenchmarkFitterCold(b *testing.B) {
+	xs, ys := genInverseLinear(0.2, 1.0, 0.5, 0.02, 40, 1)
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Fit(xs, ys, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitterWarm measures the steady-state online refit: same data
+// window shifting by one observation per call, seeded from the previous
+// optimum.
+func BenchmarkFitterWarm(b *testing.B) {
+	xs, ys := genInverseLinear(0.2, 1.0, 0.5, 0.02, 136, 1)
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.SetWarmStart(true)
+	const w = 40
+	if _, err := f.Fit(xs[:w], ys[:w], Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i + 1) % (len(xs) - w)
+		if _, err := f.Fit(xs[lo:lo+w], ys[lo:lo+w], Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -51,7 +51,15 @@ func (InverseLinear) Jacobian(p []float64, x float64, out []float64) {
 
 // Guess implements Model: assume the last observation is near the floor and
 // the first sets the initial offset.
-func (InverseLinear) Guess(xs, ys []float64) []float64 {
+func (m InverseLinear) Guess(xs, ys []float64) []float64 {
+	out := make([]float64, 3)
+	m.GuessInto(xs, ys, out)
+	return out
+}
+
+// GuessInto is Guess without the allocation: it writes the starting point
+// into out (length 3). The Fitter uses it to keep cold fits heap-free.
+func (InverseLinear) GuessInto(xs, ys, out []float64) {
 	first, last := ys[0], ys[len(ys)-1]
 	c := last - 0.1*math.Abs(first-last) - 1e-3
 	b := 1.0
@@ -67,7 +75,7 @@ func (InverseLinear) Guess(xs, ys []float64) []float64 {
 			}
 		}
 	}
-	return []float64{a, b, c}
+	out[0], out[1], out[2] = a, b, c
 }
 
 // Clamp implements Model.
@@ -106,14 +114,21 @@ func (PowerLaw) Jacobian(p []float64, x float64, out []float64) {
 }
 
 // Guess implements Model.
-func (PowerLaw) Guess(xs, ys []float64) []float64 {
+func (m PowerLaw) Guess(xs, ys []float64) []float64 {
+	out := make([]float64, 3)
+	m.GuessInto(xs, ys, out)
+	return out
+}
+
+// GuessInto is Guess without the allocation (see InverseLinear.GuessInto).
+func (PowerLaw) GuessInto(xs, ys, out []float64) {
 	first, last := ys[0], ys[len(ys)-1]
 	c := last - 0.1*math.Abs(first-last) - 1e-3
 	a := first - c
 	if a <= 0 {
 		a = 1
 	}
-	return []float64{a, 0.5, c}
+	out[0], out[1], out[2] = a, 0.5, c
 }
 
 // Clamp implements Model.

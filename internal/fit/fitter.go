@@ -1,0 +1,294 @@
+package fit
+
+import (
+	"fmt"
+	"math"
+)
+
+// fitterParams is the parameter count the Fitter's fixed-size scratch is
+// sized for. Both curve families used in online prediction (InverseLinear,
+// PowerLaw) have exactly three parameters, so the normal-equation system is
+// always 3x3 and can live in arrays instead of per-iteration [][]float64.
+const fitterParams = 3
+
+// guesser is the allocation-free starting-point seam: models that implement
+// it (both built-in families do) let the Fitter seed params without the
+// []float64 that Guess returns.
+type guesser interface {
+	GuessInto(xs, ys, out []float64)
+}
+
+// Fitter is a reusable Levenberg-Marquardt solver for 3-parameter models.
+// It holds all solver scratch (Jacobian row, normal equations, augmented
+// elimination matrix, trial point) in fixed-size arrays, so a steady-state
+// refit performs zero heap allocations — the property the per-epoch
+// Algorithm-2 decision loop is gated on (fit.TestFitterZeroAlloc).
+//
+// A cold Fit is bit-identical to the package-level Fit: same starting
+// guess, same damping schedule, same elimination pivoting, same float
+// arithmetic in the same order (enforced by TestFitterColdBitIdentical).
+//
+// With warm start enabled (SetWarmStart), each Fit seeds the iteration from
+// the previous call's converged parameters instead of the model's data
+// guess. Online refits move the data by one observation per epoch, so the
+// previous optimum is an excellent start and steady-state refits converge
+// in a handful of LM iterations instead of dozens. Warm results may differ
+// in the last bits from a cold fit (the iteration takes a different path to
+// the optimum), so warm start is opt-in: callers that must reproduce
+// historical cold-fit outputs leave it off.
+//
+// A Fitter is not safe for concurrent use; give each goroutine its own.
+type Fitter struct {
+	m     Model
+	guess guesser
+	// isIL selects the specialized InverseLinear inner loop: identical
+	// arithmetic with the model math inlined, skipping the per-point
+	// interface dispatch that dominates the generic path.
+	isIL bool
+
+	warm    bool
+	hasPrev bool
+	prev    [fitterParams]float64
+
+	// out backs Result.Params: valid until the next Fit call.
+	out [fitterParams]float64
+
+	params, trial, jac, jtr, delta [fitterParams]float64
+	jtj                            [fitterParams][fitterParams]float64
+	aug                            [fitterParams][fitterParams + 1]float64
+}
+
+// NewFitter returns a reusable solver for m. m must have exactly 3
+// parameters (both built-in families do); other arities need the
+// general-purpose Fit.
+func NewFitter(m Model) (*Fitter, error) {
+	if m.NumParams() != fitterParams {
+		return nil, fmt.Errorf("fit: Fitter requires %d params, model has %d", fitterParams, m.NumParams())
+	}
+	f := &Fitter{m: m}
+	if g, ok := m.(guesser); ok {
+		f.guess = g
+	}
+	_, f.isIL = m.(InverseLinear)
+	return f, nil
+}
+
+// SetWarmStart toggles seeding each fit from the previous result. Turning
+// it off also forgets any stored parameters.
+func (f *Fitter) SetWarmStart(on bool) {
+	f.warm = on
+	if !on {
+		f.hasPrev = false
+	}
+}
+
+// Reset forgets the stored warm-start parameters (e.g. when the observation
+// stream restarts), keeping the warm-start mode itself.
+func (f *Fitter) Reset() { f.hasPrev = false }
+
+// Fit solves min_params sum_i (model(x_i) - y_i)^2 by Levenberg-Marquardt
+// without heap allocation. The returned Result.Params aliases Fitter-owned
+// storage and is only valid until the next Fit call — copy it to keep it.
+func (f *Fitter) Fit(xs, ys []float64, opts Options) (Result, error) {
+	if len(xs) != len(ys) {
+		return Result{}, fmt.Errorf("fit: len(xs)=%d != len(ys)=%d", len(xs), len(ys))
+	}
+	const p = fitterParams
+	n := len(xs)
+	if n < p {
+		return Result{}, fmt.Errorf("%w: %d < %d", ErrInsufficientData, n, p)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 200
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-10
+	}
+
+	if f.warm && f.hasPrev {
+		f.params = f.prev
+	} else if f.guess != nil {
+		f.guess.GuessInto(xs, ys, f.params[:])
+	} else {
+		copy(f.params[:], f.m.Guess(xs, ys))
+	}
+	f.clamp(&f.params)
+	sse := f.sumSquares(&f.params, xs, ys)
+	lambda := 1e-3
+	iters := 0
+
+	for ; iters < opts.MaxIter; iters++ {
+		// Build normal equations J^T J and J^T r, exactly as Fit does.
+		for i := range f.jtj {
+			for j := range f.jtj[i] {
+				f.jtj[i][j] = 0
+			}
+			f.jtr[i] = 0
+		}
+		f.buildNormal(xs, ys)
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				f.jtj[i][j] = f.jtj[j][i]
+			}
+		}
+
+		improved := false
+		for attempt := 0; attempt < 20; attempt++ {
+			if !f.solveDamped(lambda) {
+				lambda *= 10
+				continue
+			}
+			for i := range f.trial {
+				f.trial[i] = f.params[i] - f.delta[i]
+			}
+			f.clamp(&f.trial)
+			trialSSE := f.sumSquares(&f.trial, xs, ys)
+			if trialSSE < sse {
+				rel := (sse - trialSSE) / (sse + 1e-30)
+				f.params, sse = f.trial, trialSSE
+				lambda = math.Max(lambda/3, 1e-12)
+				improved = true
+				if rel < opts.Tol {
+					iters++
+					return f.finish(sse, n, iters), nil
+				}
+				break
+			}
+			lambda *= 10
+			if lambda > 1e12 {
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return f.finish(sse, n, iters), nil
+}
+
+// buildNormal accumulates J^T J (lower triangle) and J^T r over the data.
+// The InverseLinear fast path inlines Eval/Jacobian: den = a*x + b is the
+// exact subexpression both compute, so sharing it yields the same bits, and
+// the accumulation loop is untouched — bit-identity with the generic path
+// (and therefore with the package Fit) is preserved.
+func (f *Fitter) buildNormal(xs, ys []float64) {
+	const p = fitterParams
+	n := len(xs)
+	if f.isIL {
+		a, b, c := f.params[0], f.params[1], f.params[2]
+		for k := 0; k < n; k++ {
+			x := xs[k]
+			den := a*x + b
+			inv2 := -1 / (den * den)
+			f.jac[0], f.jac[1], f.jac[2] = inv2*x, inv2, 1
+			r := 1/den + c - ys[k]
+			for i := 0; i < p; i++ {
+				f.jtr[i] += f.jac[i] * r
+				for j := 0; j <= i; j++ {
+					f.jtj[i][j] += f.jac[i] * f.jac[j]
+				}
+			}
+		}
+		return
+	}
+	for k := 0; k < n; k++ {
+		f.m.Jacobian(f.params[:], xs[k], f.jac[:])
+		r := f.m.Eval(f.params[:], xs[k]) - ys[k]
+		for i := 0; i < p; i++ {
+			f.jtr[i] += f.jac[i] * r
+			for j := 0; j <= i; j++ {
+				f.jtj[i][j] += f.jac[i] * f.jac[j]
+			}
+		}
+	}
+}
+
+// sumSquares is the package sumSquares with the InverseLinear evaluation
+// inlined on the fast path (same expression, same association order).
+func (f *Fitter) sumSquares(params *[fitterParams]float64, xs, ys []float64) float64 {
+	if f.isIL {
+		a, b, c := params[0], params[1], params[2]
+		var s float64
+		for i := range xs {
+			r := 1/(a*xs[i]+b) + c - ys[i]
+			s += r * r
+		}
+		return s
+	}
+	return sumSquares(f.m, params[:], xs, ys)
+}
+
+// clamp projects params into the model's valid region (InverseLinear's
+// bounds inlined on the fast path).
+func (f *Fitter) clamp(params *[fitterParams]float64) {
+	if f.isIL {
+		if params[0] < 1e-9 {
+			params[0] = 1e-9
+		}
+		if params[1] < 1e-9 {
+			params[1] = 1e-9
+		}
+		return
+	}
+	f.m.Clamp(params[:])
+}
+
+func (f *Fitter) finish(sse float64, n, iters int) Result {
+	f.out = f.params
+	if f.warm {
+		f.prev = f.params
+		f.hasPrev = true
+	}
+	return Result{Params: f.out[:], SSE: sse, RMSE: math.Sqrt(sse / float64(n)), Iters: iters}
+}
+
+// solveDamped is solveDamped over the Fitter's fixed-size scratch: it
+// solves (jtj + lambda*diag(jtj)) delta = jtr into f.delta with the same
+// partial-pivoting elimination and the same arithmetic order as the
+// slice-based solver, but with the augmented matrix in a [3][4] array.
+func (f *Fitter) solveDamped(lambda float64) bool {
+	const p = fitterParams
+	m := &f.aug
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			m[i][j] = f.jtj[i][j]
+		}
+		d := f.jtj[i][i] * lambda
+		if d == 0 {
+			d = lambda
+		}
+		m[i][i] += d
+		m[i][p] = f.jtr[i]
+	}
+	for col := 0; col < p; col++ {
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-300 {
+			return false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < p; r++ {
+			fr := m[r][col] / m[col][col]
+			for c := col; c <= p; c++ {
+				m[r][c] -= fr * m[col][c]
+			}
+		}
+	}
+	for i := p - 1; i >= 0; i-- {
+		s := m[i][p]
+		for j := i + 1; j < p; j++ {
+			s -= m[i][j] * f.delta[j]
+		}
+		f.delta[i] = s / m[i][i]
+	}
+	for _, v := range f.delta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,247 @@
+package fit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fitterDatasets builds a diverse corpus of observation sets: clean curves,
+// noisy curves, short series, plateaus, random walks — everything the
+// online predictor can throw at the solver, including data that exercises
+// the failed-attempt and singular-system paths.
+func fitterDatasets() (names []string, sets [][2][]float64) {
+	add := func(name string, xs, ys []float64) {
+		names = append(names, name)
+		sets = append(sets, [2][]float64{xs, ys})
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		xs, ys := genInverseLinear(0.05+0.1*float64(seed), 0.5+0.3*float64(seed), 0.2+0.1*float64(seed), 0.02, 10+int(seed)*7, seed)
+		add("noisy", xs, ys)
+	}
+	xs, ys := genInverseLinear(0.3, 0.8, 0.5, 0, 30, 1)
+	add("clean", xs, ys)
+	add("minimal", []float64{1, 2, 3}, []float64{1, 0.8, 0.7})
+	add("plateau", []float64{1, 2, 3, 4, 5, 6}, []float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	add("ascending", []float64{1, 2, 3, 4, 5}, []float64{0.1, 0.2, 0.4, 0.8, 1.6})
+	rng := sim.NewRand(99)
+	var wx, wy []float64
+	v := 1.0
+	for e := 1; e <= 40; e++ {
+		v += 0.1 * rng.NormFloat64()
+		wx = append(wx, float64(e))
+		wy = append(wy, v)
+	}
+	add("walk", wx, wy)
+	return names, sets
+}
+
+// TestFitterColdBitIdentical is the refactoring gate: a cold Fitter fit
+// must reproduce the package-level Fit bit for bit — parameters, SSE, RMSE
+// and iteration count — on every corpus dataset and both model families.
+func TestFitterColdBitIdentical(t *testing.T) {
+	names, sets := fitterDatasets()
+	for _, m := range []Model{InverseLinear{}, PowerLaw{}} {
+		f, err := NewFitter(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, set := range sets {
+			xs, ys := set[0], set[1]
+			want, errWant := Fit(m, xs, ys, Options{})
+			got, errGot := f.Fit(xs, ys, Options{})
+			if (errWant == nil) != (errGot == nil) {
+				t.Fatalf("%T %s: err mismatch: Fit=%v Fitter=%v", m, names[si], errWant, errGot)
+			}
+			if errWant != nil {
+				continue
+			}
+			for i := range want.Params {
+				if want.Params[i] != got.Params[i] {
+					t.Errorf("%T %s: param %d: Fit=%v Fitter=%v", m, names[si], i, want.Params[i], got.Params[i])
+				}
+			}
+			if want.SSE != got.SSE || want.RMSE != got.RMSE || want.Iters != got.Iters {
+				t.Errorf("%T %s: SSE/RMSE/Iters: Fit=(%v,%v,%d) Fitter=(%v,%v,%d)",
+					m, names[si], want.SSE, want.RMSE, want.Iters, got.SSE, got.RMSE, got.Iters)
+			}
+		}
+	}
+}
+
+// TestFitterColdBitIdenticalNonDefaultOptions repeats the gate with explicit
+// solver options (fewer iterations, looser tolerance).
+func TestFitterColdBitIdenticalNonDefaultOptions(t *testing.T) {
+	xs, ys := genInverseLinear(0.2, 1.0, 0.5, 0.02, 40, 5)
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{{MaxIter: 3}, {Tol: 1e-4}, {MaxIter: 50, Tol: 1e-6}} {
+		want, _ := Fit(InverseLinear{}, xs, ys, opts)
+		got, _ := f.Fit(xs, ys, opts)
+		for i := range want.Params {
+			if want.Params[i] != got.Params[i] {
+				t.Errorf("opts %+v: param %d: Fit=%v Fitter=%v", opts, i, want.Params[i], got.Params[i])
+			}
+		}
+		if want.Iters != got.Iters {
+			t.Errorf("opts %+v: iters Fit=%d Fitter=%d", opts, want.Iters, got.Iters)
+		}
+	}
+}
+
+func TestFitterErrors(t *testing.T) {
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fit([]float64{1, 2, 3}, []float64{1}, Options{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := f.Fit([]float64{1, 2}, []float64{1, 0.9}, Options{}); err == nil {
+		t.Error("insufficient data should fail")
+	}
+	if _, err := NewFitter(twoParamModel{}); err == nil {
+		t.Error("non-3-param model should be rejected")
+	}
+}
+
+// twoParamModel exercises the NewFitter arity check.
+type twoParamModel struct{}
+
+func (twoParamModel) NumParams() int                      { return 2 }
+func (twoParamModel) Eval(p []float64, x float64) float64 { return p[0]*x + p[1] }
+func (twoParamModel) Jacobian(p []float64, x float64, out []float64) {
+	out[0], out[1] = x, 1
+}
+func (twoParamModel) Guess(xs, ys []float64) []float64 { return []float64{0, 0} }
+func (twoParamModel) Clamp(p []float64)                {}
+
+// TestFitterWarmStartConverges: a warm refit over a one-observation-extended
+// series must converge in no more iterations than the cold fit and land on
+// an (almost) equally good optimum.
+func TestFitterWarmStartConverges(t *testing.T) {
+	xs, ys := genInverseLinear(0.2, 1.0, 0.5, 0.01, 60, 7)
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetWarmStart(true)
+	if _, err := f.Fit(xs[:40], ys[:40], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	coldIters, warmIters := 0, 0
+	for n := 41; n <= 60; n++ {
+		cold, err := Fit(InverseLinear{}, xs[:n], ys[:n], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := f.Fit(xs[:n], ys[:n], Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldIters += cold.Iters
+		warmIters += warm.Iters
+		if warm.SSE > cold.SSE*1.01+1e-12 {
+			t.Errorf("n=%d: warm SSE %g much worse than cold %g", n, warm.SSE, cold.SSE)
+		}
+		if math.Abs(warm.Params[2]-0.5) > 0.05 {
+			t.Errorf("n=%d: warm floor %g drifted from 0.5", n, warm.Params[2])
+		}
+	}
+	if warmIters > coldIters {
+		t.Errorf("warm refits took %d iterations, cold %d — warm start is not helping", warmIters, coldIters)
+	}
+}
+
+// TestFitterWarmStartToggle: disabling warm start forgets the stored
+// parameters and reproduces the cold path bit for bit.
+func TestFitterWarmStartToggle(t *testing.T) {
+	xs, ys := genInverseLinear(0.25, 1.2, 0.4, 0.02, 30, 9)
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetWarmStart(true)
+	if _, err := f.Fit(xs, ys, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	f.SetWarmStart(false)
+	got, err := f.Fit(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Fit(InverseLinear{}, xs, ys, Options{})
+	for i := range want.Params {
+		if want.Params[i] != got.Params[i] {
+			t.Errorf("param %d after toggle-off: Fit=%v Fitter=%v", i, want.Params[i], got.Params[i])
+		}
+	}
+	// Reset keeps warm mode but forgets the seed: next fit is cold again.
+	f.SetWarmStart(true)
+	if _, err := f.Fit(xs, ys, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	f.Reset()
+	got, err = f.Fit(xs, ys, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Params {
+		if want.Params[i] != got.Params[i] {
+			t.Errorf("param %d after Reset: Fit=%v Fitter=%v", i, want.Params[i], got.Params[i])
+		}
+	}
+}
+
+// TestFitterResultAliasing documents the Result.Params contract: the slice
+// aliases Fitter storage and is rewritten by the next Fit call.
+func TestFitterResultAliasing(t *testing.T) {
+	xs1, ys1 := genInverseLinear(0.2, 1.0, 0.5, 0, 20, 1)
+	xs2, ys2 := genInverseLinear(0.4, 0.5, 0.3, 0, 20, 2)
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := f.Fit(xs1, ys1, Options{})
+	c0 := r1.Params[2]
+	r2, _ := f.Fit(xs2, ys2, Options{})
+	if &r1.Params[0] != &r2.Params[0] {
+		t.Fatal("Result.Params should alias the Fitter's storage")
+	}
+	if r1.Params[2] == c0 && math.Abs(c0-0.3) > 0.1 {
+		// r1's view must now show the second fit's floor (~0.3, not ~0.5).
+		t.Errorf("aliased params not rewritten: %v", r1.Params)
+	}
+}
+
+// TestFitterZeroAlloc is the steady-state gate: warm and cold refits must
+// not touch the heap.
+func TestFitterZeroAlloc(t *testing.T) {
+	xs, ys := genInverseLinear(0.2, 1.0, 0.5, 0.01, 40, 3)
+	f, err := NewFitter(InverseLinear{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetWarmStart(true)
+	if _, err := f.Fit(xs, ys, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := f.Fit(xs, ys, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("warm Fitter.Fit allocates %.1f/op, want 0", avg)
+	}
+	f.SetWarmStart(false)
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := f.Fit(xs, ys, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("cold Fitter.Fit allocates %.1f/op, want 0", avg)
+	}
+}

@@ -108,8 +108,48 @@ type Online struct {
 	// (recency guards against early-epoch transients).
 	Window int
 
-	lastFit []float64
+	// fixedCap, when positive, bounds the retained history: once full, each
+	// Observe shifts the window in place instead of appending, so the
+	// steady-state observe+refit path never touches the heap (the fleet
+	// configuration; see SetFixedWindow).
+	fixedCap int
+	// refitBudget, when positive, caps LM iterations per refit. Only
+	// sensible with warm start: each epoch's refit then continues from the
+	// previous epoch's parameters, so the optimization is amortized across
+	// the observation stream instead of re-converging from scratch.
+	refitBudget int
+
+	fitter  *fit.Fitter
+	lastFit [3]float64
+	hasFit  bool
 	dirty   bool
+}
+
+// Tuning bundles the fleet-scale online-fitter options: a bounded in-place
+// history window, warm-started refits, and a per-epoch LM iteration budget.
+// All three deviate (in the last float bits, or in which observations the
+// pinned-floor fallback sees) from the historical exact configuration, so
+// they are opt-in as a set — the fleet scenarios take them for the
+// zero-alloc, few-iteration steady state; single-job experiments keep the
+// defaults and their bit-identical outputs.
+type Tuning struct {
+	// FixedWindow bounds the retained history (min 3; see SetFixedWindow).
+	FixedWindow int
+	// WarmStart seeds each refit from the previous epoch's parameters.
+	WarmStart bool
+	// RefitBudget caps LM iterations per refit (0 = unlimited). With warm
+	// start the budget is amortized: each epoch refines the previous fit a
+	// few steps rather than re-converging from the data guess.
+	RefitBudget int
+}
+
+// ApplyTuning switches the predictor to the fleet configuration.
+func (o *Online) ApplyTuning(t Tuning) {
+	if t.FixedWindow > 0 {
+		o.SetFixedWindow(t.FixedWindow)
+	}
+	o.SetWarmStart(t.WarmStart)
+	o.refitBudget = t.RefitBudget
 }
 
 // NewOnline returns an online predictor with defaults.
@@ -117,10 +157,60 @@ func NewOnline() *Online {
 	return &Online{MinPoints: 4}
 }
 
+// SetFixedWindow caps the retained history at w observations (w >= 3) in a
+// preallocated buffer: once full, each Observe drops the oldest point with
+// an in-place shift, keeping observation allocation-free. Predictions —
+// including the pinned-floor fallback, which normally consults the full
+// history — then see only the retained window. That behavioral difference
+// is why this is opt-in: fleet-scale runs (thousands of controllers) take
+// it for the bounded memory and zero-alloc steady state; single-job
+// experiments keep the unbounded history and its historical outputs.
+func (o *Online) SetFixedWindow(w int) {
+	if w < 3 {
+		w = 3
+	}
+	o.fixedCap = w
+	xs := make([]float64, 0, w)
+	ys := make([]float64, 0, w)
+	if drop := len(o.xs) - w; drop > 0 {
+		o.xs, o.ys = o.xs[drop:], o.ys[drop:]
+	}
+	o.xs = append(xs, o.xs...)
+	o.ys = append(ys, o.ys...)
+	o.dirty = true
+}
+
+// SetWarmStart seeds each refit from the previous epoch's fitted
+// parameters; steady-state refits then converge in a handful of LM
+// iterations instead of dozens. Warm-started fits can differ from cold ones
+// in the last float bits, so this is opt-in alongside SetFixedWindow for
+// fleet runs; the default cold path stays bit-identical to fit.Fit.
+func (o *Online) SetWarmStart(on bool) {
+	o.ensureFitter()
+	o.fitter.SetWarmStart(on)
+}
+
+func (o *Online) ensureFitter() {
+	if o.fitter == nil {
+		f, err := fit.NewFitter(fit.InverseLinear{})
+		if err != nil {
+			panic(err) // unreachable: InverseLinear has exactly 3 params
+		}
+		o.fitter = f
+	}
+}
+
 // Observe records the loss after epoch (1-based).
 func (o *Online) Observe(epoch int, loss float64) {
-	o.xs = append(o.xs, float64(epoch))
-	o.ys = append(o.ys, loss)
+	if o.fixedCap > 0 && len(o.xs) == o.fixedCap {
+		copy(o.xs, o.xs[1:])
+		copy(o.ys, o.ys[1:])
+		o.xs[o.fixedCap-1] = float64(epoch)
+		o.ys[o.fixedCap-1] = loss
+	} else {
+		o.xs = append(o.xs, float64(epoch))
+		o.ys = append(o.ys, loss)
+	}
 	o.dirty = true
 }
 
@@ -136,12 +226,15 @@ func (o *Online) Ready() bool {
 	return len(o.xs) >= min
 }
 
-// refit updates the cached curve parameters.
+// refit updates the cached curve parameters. The reusable Fitter's cold
+// path is bit-identical to fit.Fit but allocation-free; its Result.Params
+// alias solver scratch, so the parameters are copied into the fixed lastFit
+// array.
 func (o *Online) refit() bool {
 	if !o.Ready() {
 		return false
 	}
-	if !o.dirty && o.lastFit != nil {
+	if !o.dirty && o.hasFit {
 		return true
 	}
 	xs, ys := o.xs, o.ys
@@ -149,21 +242,24 @@ func (o *Online) refit() bool {
 		xs = xs[len(xs)-o.Window:]
 		ys = ys[len(ys)-o.Window:]
 	}
-	res, err := fit.Fit(fit.InverseLinear{}, xs, ys, fit.Options{})
+	o.ensureFitter()
+	res, err := o.fitter.Fit(xs, ys, fit.Options{MaxIter: o.refitBudget})
 	if err != nil {
 		return false
 	}
-	o.lastFit = res.Params
+	o.lastFit[0], o.lastFit[1], o.lastFit[2] = res.Params[0], res.Params[1], res.Params[2]
+	o.hasFit = true
 	o.dirty = false
 	return true
 }
 
-// Curve returns the latest fitted parameters (a, b, c), refitting if needed.
+// Curve returns the latest fitted parameters (a, b, c), refitting if
+// needed. The slice is a read-only view of predictor-owned storage.
 func (o *Online) Curve() ([]float64, bool) {
 	if !o.refit() {
 		return nil, false
 	}
-	return o.lastFit, true
+	return o.lastFit[:], true
 }
 
 // PredictTotalEpochs estimates the total number of epochs (from the start of

@@ -196,10 +196,13 @@ func TestCurveCaching(t *testing.T) {
 	for e := 1; e <= 6; e++ {
 		o.Observe(e, 1.0/float64(e)+0.3)
 	}
-	p1, ok := o.Curve()
+	view, ok := o.Curve()
 	if !ok {
 		t.Fatal("fit failed")
 	}
+	// Curve returns a view of predictor-owned storage: copy before
+	// observing more, or the comparison would be against itself.
+	p1 := append([]float64(nil), view...)
 	p2, _ := o.Curve()
 	for i := range p1 {
 		if p1[i] != p2[i] {

@@ -25,6 +25,12 @@ type Config struct {
 	// normally the Pareto set; the WO-pa ablation passes the full
 	// enumeration instead.
 	Candidates []cost.Point
+	// Frontier, when set and Candidates is empty, supplies the candidate
+	// set as an immutable shared Pareto boundary (cost.ParetoFrontier).
+	// The scheduler searches the shared points directly — no per-session
+	// copy, no re-sort — which is what lets thousands of fleet tenants
+	// share one frontier instance.
+	Frontier *cost.Frontier
 
 	// Exactly one of Budget (minimize JCT, Eq. 13-14) or QoS (minimize
 	// cost, Eq. 15-16) must be positive.
@@ -40,6 +46,11 @@ type Config struct {
 	// PlanningSecondsPerCandidate models the decision latency per candidate
 	// allocation evaluated (the §IV-G scheduling-overhead metric).
 	PlanningSecondsPerCandidate float64
+	// OnlineTuning, when non-nil, switches the online curve fitter to the
+	// fleet configuration (bounded history, warm-started budget-limited
+	// refits; see predictor.Tuning). Nil keeps the historical exact
+	// configuration and its bit-identical outputs.
+	OnlineTuning *predictor.Tuning
 	// Offline supplies the warm-start epoch estimate; required.
 	Offline *predictor.Offline
 	// OfflineSeed seeds the offline sampling run.
@@ -64,6 +75,11 @@ type Scheduler struct {
 	// of waiting for δ drift, so an over-pessimistic early prediction does
 	// not pin the job to an extreme allocation.
 	panicked bool
+	// ordered records (once, at New) that the candidates form a strict
+	// frontier — strictly ascending Time, strictly descending Cost — so
+	// selection can binary-search instead of scanning. Arbitrary candidate
+	// sets (the WO-pa full enumeration) fall back to the linear reference.
+	ordered bool
 
 	// Metrics.
 	Restarts        int
@@ -74,7 +90,9 @@ type Scheduler struct {
 
 // New returns a scheduler for cfg with defaults applied. The candidate set
 // is sorted by ascending epoch time, so index 0 is always the fastest
-// allocation (the panic fallback under deadline pressure).
+// allocation (the panic fallback under deadline pressure). A shared
+// cost.Frontier is adopted as-is — it is already time-sorted and immutable,
+// so no per-session copy is made.
 func New(cfg Config) *Scheduler {
 	if cfg.Delta <= 0 {
 		cfg.Delta = 0.1
@@ -82,11 +100,34 @@ func New(cfg Config) *Scheduler {
 	if cfg.PlanningSecondsPerCandidate <= 0 {
 		cfg.PlanningSecondsPerCandidate = 0.05
 	}
-	cands := make([]cost.Point, len(cfg.Candidates))
-	copy(cands, cfg.Candidates)
-	sort.Slice(cands, func(i, j int) bool { return cands[i].Time < cands[j].Time })
-	cfg.Candidates = cands
-	return &Scheduler{cfg: cfg, online: predictor.NewOnline()}
+	if cfg.Frontier != nil && len(cfg.Candidates) == 0 {
+		cfg.Candidates = cfg.Frontier.Points()
+	} else {
+		cands := make([]cost.Point, len(cfg.Candidates))
+		copy(cands, cfg.Candidates)
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Time < cands[j].Time })
+		cfg.Candidates = cands
+	}
+	online := predictor.NewOnline()
+	if cfg.OnlineTuning != nil {
+		online.ApplyTuning(*cfg.OnlineTuning)
+	}
+	return &Scheduler{cfg: cfg, online: online, ordered: strictFrontier(cfg.Candidates)}
+}
+
+// strictFrontier reports whether candidates are strictly ascending in Time
+// and strictly descending in Cost — the Pareto-boundary shape that makes
+// constrained selection binary-searchable.
+func strictFrontier(c []cost.Point) bool {
+	if len(c) == 0 {
+		return false
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i].Time <= c[i-1].Time || c[i].Cost >= c[i-1].Cost {
+			return false
+		}
+	}
+	return true
 }
 
 // Alloc returns the scheduler's current allocation.
@@ -172,16 +213,35 @@ func (s *Scheduler) selectBest(remaining int, elapsed, spent float64) (cost.Allo
 // selectBestRelaxed is selectBest with the constraint scaled by relax >= 1;
 // the scheduler prefers a mildly stretched constraint over flapping to an
 // extreme allocation when online predictions are noisy.
+//
+// The modeled planning overhead (§IV-G) charges every candidate regardless
+// of how the optimum is located: Algorithm 2's select_best_allocation is
+// defined over the whole set, and the accounting must not change because
+// the implementation got smarter. The repeated addition (rather than one
+// multiply) keeps the accumulated float bit-identical to the historical
+// per-candidate loop.
 func (s *Scheduler) selectBestRelaxed(remaining int, elapsed, spent float64, relax float64) (cost.Allocation, bool) {
 	if remaining < 1 {
 		remaining = 1
 	}
+	for range s.cfg.Candidates {
+		s.CandidatesSeen++
+		s.PlanningSeconds += s.cfg.PlanningSecondsPerCandidate
+	}
+	if s.ordered {
+		return s.selectBinary(remaining, elapsed, spent, relax)
+	}
+	return s.selectLinear(remaining, elapsed, spent, relax)
+}
+
+// selectLinear is the reference O(P) scan, kept for arbitrary candidate
+// sets (the WO-pa full enumeration) and as the oracle the binary-search
+// path is property-tested against.
+func (s *Scheduler) selectLinear(remaining int, elapsed, spent float64, relax float64) (cost.Allocation, bool) {
 	bestVal := math.Inf(1)
 	var best cost.Allocation
 	found := false
 	for _, p := range s.cfg.Candidates {
-		s.CandidatesSeen++
-		s.PlanningSeconds += s.cfg.PlanningSecondsPerCandidate
 		t := float64(remaining) * p.Time
 		c := float64(remaining) * p.Cost
 		if s.cfg.Budget > 0 {
@@ -201,6 +261,62 @@ func (s *Scheduler) selectBestRelaxed(remaining int, elapsed, spent float64, rel
 		}
 	}
 	return best, found
+}
+
+// selectBinary exploits the strict frontier order — Time strictly
+// ascending, Cost strictly descending — to binary-search the constrained
+// optimum in O(log P). It evaluates the same feasibility expressions as
+// selectLinear on the candidates it probes, and resolves rounding ties the
+// same way the linear scan's strict `<` does (first index achieving the
+// optimal value), so the returned decision is bit-identical.
+func (s *Scheduler) selectBinary(remaining int, elapsed, spent float64, relax float64) (cost.Allocation, bool) {
+	cands := s.cfg.Candidates
+	r := float64(remaining)
+	if s.cfg.Budget > 0 {
+		// Feasibility spent + r*Cost <= Budget*relax is monotone along the
+		// frontier (Cost descending), so the feasible set is a suffix. Time
+		// ascends, so the minimum-JCT feasible candidate is the suffix's
+		// first element.
+		limit := s.cfg.Budget * relax
+		lo, hi := 0, len(cands)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if spent+r*cands[mid].Cost > limit {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(cands) {
+			return cost.Allocation{}, false
+		}
+		return cands[lo].Alloc, true
+	}
+	// QoS: feasibility elapsed + r*Time <= QoS*relax is monotone (Time
+	// ascending), so the feasible set is a prefix; Cost descends, so the
+	// minimum-cost feasible candidate sits at the prefix's end.
+	limit := s.cfg.QoS * relax
+	lo, hi := 0, len(cands)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if elapsed+r*cands[mid].Time > limit {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == 0 {
+		return cost.Allocation{}, false
+	}
+	// Strictly descending Cost can still collide after the r*Cost rounding;
+	// the linear scan's strict `<` keeps the first index of a tied run, so
+	// walk back over exact float ties.
+	j := lo - 1
+	tied := r * cands[j].Cost
+	for j > 0 && r*cands[j-1].Cost == tied {
+		j--
+	}
+	return cands[j].Alloc, true
 }
 
 // worthSwitching reports whether moving to next is predicted to improve the

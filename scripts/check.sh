@@ -36,7 +36,7 @@ go test -run 'TestKernelMatchesReferenceHeap|TestRunUntilNeverMovesClockBackward
 
 echo "== shard determinism gate (byte-identical at every shard count and worker count)"
 go test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
-go test -run 'TestMacroDayShardMatrix' ./internal/experiments/
+go test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix' ./internal/experiments/
 go build -o /tmp/cebench.check ./cmd/cebench
 /tmp/cebench.check -shards 1 -sim-workers 1 macro-day 2>/dev/null > /tmp/cebench.shards1.txt
 /tmp/cebench.check -shards 8 -sim-workers 8 macro-day 2>/dev/null > /tmp/cebench.shards8.txt
@@ -44,11 +44,32 @@ cmp /tmp/cebench.shards1.txt /tmp/cebench.shards8.txt || {
 	echo "cebench macro-day stdout differs between shards=1 and shards=8/workers=8"; exit 1;
 }
 
+echo "== macro-fleet determinism matrix (1000 controllers, shards x workers x -parallel)"
+for cfg in "1 1" "1 8" "8 1" "8 8"; do
+	set -- $cfg
+	/tmp/cebench.check -fleet-tenants 1000 -shards "$1" -sim-workers "$2" \
+		macro-fleet 2>/dev/null > "/tmp/cebench.fleet.s$1w$2.txt"
+done
+for f in /tmp/cebench.fleet.s1w8.txt /tmp/cebench.fleet.s8w1.txt /tmp/cebench.fleet.s8w8.txt; do
+	cmp /tmp/cebench.fleet.s1w1.txt "$f" || {
+		echo "cebench macro-fleet stdout differs across the shard matrix ($f)"; exit 1;
+	}
+done
+/tmp/cebench.check -fleet-tenants 1000 -parallel 8 macro-fleet 2>/dev/null > /tmp/cebench.fleet.p8.txt
+/tmp/cebench.check -fleet-tenants 1000 -parallel 1 macro-fleet 2>/dev/null > /tmp/cebench.fleet.p1.txt
+cmp /tmp/cebench.fleet.p1.txt /tmp/cebench.fleet.p8.txt || {
+	echo "cebench macro-fleet stdout differs between -parallel 1 and -parallel 8"; exit 1;
+}
+
 echo "== trace-check (observability export byte-identical across -parallel)"
 sh scripts/trace_check.sh
 
-echo "== benchmark smoke (sim/cost at 1x, numeric path at 100x, same as make bench)"
-go test -run '^$' -bench . -benchtime=1x ./internal/sim/ ./internal/cost/
+echo "== zero-alloc gates (steady-state fit/observe/decision must not touch the heap)"
+go test -run 'TestFitterZeroAlloc|TestFixedWindowObserveZeroAlloc|TestDecisionZeroAlloc' \
+	./internal/fit/ ./internal/predictor/ ./internal/scheduler/
+
+echo "== benchmark smoke (sim/cost/fit/scheduler at 1x, numeric path at 100x, same as make bench)"
+go test -run '^$' -bench . -benchtime=1x ./internal/sim/ ./internal/cost/ ./internal/fit/ ./internal/scheduler/
 go test -run '^$' -bench . -benchmem -benchtime=100x ./internal/ml/ ./internal/dataset/
 
 echo "OK"
