@@ -34,13 +34,14 @@ trace-check:
 	sh scripts/trace_check.sh
 
 # shard-check: the sharded-kernel determinism gate. Runs the kernel's
-# cross-shard workload matrix plus the macro-day (event-path) and macro-fleet
-# (control-path) scenarios across shard and worker counts, requiring
-# event-for-event equivalence with the single-queue reference and
-# byte-identical tables, traces and metrics everywhere.
+# cross-shard workload matrix plus the macro-day (event-path), macro-fleet
+# (control-path) and macro-trace (open-loop traffic) scenarios across shard
+# and worker counts, requiring event-for-event equivalence with the
+# single-queue reference and byte-identical tables, traces and metrics
+# everywhere.
 shard-check:
 	$(GO) test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
-	$(GO) test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix' ./internal/experiments/
+	$(GO) test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix|TestMacroTraceShardMatrix|TestMacroTraceKindsShardStable' ./internal/experiments/
 
 # Smoke-run the numeric-path benchmarks (ml kernels, dataset caches, DES
 # kernel, decision path) at a fixed small iteration count: fast enough for
@@ -51,10 +52,12 @@ shard-check:
 bench:
 	$(GO) test -run 'TestFitterZeroAlloc|TestFixedWindowObserveZeroAlloc|TestDecisionZeroAlloc' \
 		./internal/fit/ ./internal/predictor/ ./internal/scheduler/
+	$(GO) test -run 'TestHistObserveZeroAlloc|TestCursorNextZeroAlloc|TestInvoke1SteadyStateZeroAlloc|TestInvoke1DenialZeroAlloc' \
+		./internal/obs/ ./internal/traffic/ ./internal/faas/
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=100x \
 		./internal/ml/ ./internal/dataset/
 	$(GO) test -run '^$$' -bench . -benchtime=100x \
-		./internal/sim/ ./internal/cost/ ./internal/fit/ ./internal/scheduler/
+		./internal/sim/ ./internal/cost/ ./internal/fit/ ./internal/scheduler/ ./internal/traffic/
 
 benchfull:
 	$(GO) test -bench=. -benchtime=1x ./...

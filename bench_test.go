@@ -122,3 +122,7 @@ func BenchmarkFig19xValidationStorages(b *testing.B) { benchExperiment(b, "fig19
 
 // Ablation — multi-tenant contention on one serverless account.
 func BenchmarkAblationCluster(b *testing.B) { benchExperiment(b, "abl-cluster") }
+
+// Macro — open-loop traffic streams (lazy arrival cursors, batch
+// injection, streaming aggregation) on one shared account, default scale.
+func BenchmarkMacroTrace(b *testing.B) { benchExperiment(b, "macro-trace") }

@@ -28,8 +28,6 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
-	"strconv"
-	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -62,7 +60,15 @@ func run() int {
 	macroTenants := flag.Int("macro-tenants", 0, "macro-day tenant count (0 = default 32)")
 	macroPerTenant := flag.Int("macro-per-tenant", 0, "macro-day invocations per tenant (0 = default 1500)")
 	fleetTenants := flag.Int("fleet-tenants", 0, "macro-fleet concurrent controller count (0 = default 48)")
-	rusage := flag.Bool("rusage", false, "report peak RSS (VmHWM) to stderr after the run")
+	// Traffic-engine knobs (macro-trace): arrival process, population and
+	// horizon; -trace-file installs an Azure-style per-minute-count file for
+	// -traffic-kind trace (rows replayed round-robin across tenants).
+	trafficKind := flag.String("traffic-kind", "", "macro-trace arrival process: poisson|bursty|diurnal|trace (empty = diurnal)")
+	trafficTenants := flag.Int("traffic-tenants", 0, "macro-trace tenant count (0 = default 24)")
+	trafficRate := flag.Float64("traffic-rate", 0, "macro-trace mean arrivals/sec per tenant (0 = default 0.5)")
+	trafficHorizon := flag.Float64("traffic-horizon", 0, "macro-trace horizon in seconds (0 = default 1800)")
+	traceFile := flag.String("trace-file", "", "per-minute-count trace file for -traffic-kind trace")
+	rusage := flag.Bool("rusage", false, "report peak RSS to stderr after the run (VmHWM on Linux, getrusage elsewhere)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cebench [-seed N] [-format text|json|csv|html] [-parallel P] <experiment-id>... | all | list\n\nexperiments:\n")
 		for _, id := range experiments.IDs() {
@@ -125,6 +131,24 @@ func run() int {
 	experiments.SetMacroSharding(*shards, *simWorkers)
 	experiments.SetMacroScale(*macroTenants, *macroPerTenant)
 	experiments.SetFleetScale(*fleetTenants)
+	experiments.SetTrafficScale(*trafficTenants, *trafficRate, *trafficHorizon)
+	if err := experiments.SetTrafficKind(*trafficKind); err != nil {
+		fmt.Fprintf(os.Stderr, "cebench: %v\n", err)
+		return 2
+	}
+	if *traceFile != "" {
+		// File I/O stays out here: internal/traffic is a deterministic
+		// package (no os imports); it parses from memory.
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: trace-file: %v\n", err)
+			return 1
+		}
+		if err := experiments.SetTraceData(data); err != nil {
+			fmt.Fprintf(os.Stderr, "cebench: trace-file: %v\n", err)
+			return 1
+		}
+	}
 	start := time.Now()
 	outcomes := experiments.RunAll(ids, *seed)
 	total := time.Since(start)
@@ -196,22 +220,6 @@ func run() int {
 		}
 	}
 	return exit
-}
-
-// peakRSSKB reads the process high-water-mark resident set (VmHWM) from
-// /proc/self/status, in kB.
-func peakRSSKB() (int64, error) {
-	data, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0, err
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
-			v := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "kB"))
-			return strconv.ParseInt(v, 10, 64)
-		}
-	}
-	return 0, fmt.Errorf("no VmHWM in /proc/self/status")
 }
 
 // exportCollector writes the merged per-cell trace and/or metrics files.

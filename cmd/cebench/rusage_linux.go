@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// peakRSSKB reports the process high-water-mark resident set in kB:
+// VmHWM from /proc/self/status, falling back to getrusage (ru_maxrss is
+// already kB on Linux) if procfs is unavailable.
+func peakRSSKB() (int64, error) {
+	if v, err := procVmHWMKB(); err == nil {
+		return v, nil
+	}
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, err
+	}
+	return int64(ru.Maxrss), nil
+}
+
+func procVmHWMKB() (int64, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			v := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(rest), "kB"))
+			return strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return 0, fmt.Errorf("no VmHWM in /proc/self/status")
+}

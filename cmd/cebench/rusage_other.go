@@ -1,0 +1,22 @@
+//go:build !linux && !windows
+
+package main
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSSKB reports the process high-water-mark resident set in kB via
+// getrusage. ru_maxrss is bytes on Darwin and kB on the BSDs.
+func peakRSSKB() (int64, error) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, err
+	}
+	maxrss := int64(ru.Maxrss)
+	if runtime.GOOS == "darwin" {
+		maxrss /= 1024
+	}
+	return maxrss, nil
+}

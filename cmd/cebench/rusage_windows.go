@@ -1,0 +1,9 @@
+package main
+
+import "errors"
+
+// peakRSSKB has no getrusage equivalent wired up on Windows; -rusage
+// reports the limitation instead of silently printing nothing.
+func peakRSSKB() (int64, error) {
+	return 0, errors.New("peak RSS reporting not supported on windows")
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// renderMacroTrace runs macro-trace at the given kernel configuration and
+// returns the rendered table plus the merged trace and metrics exports.
+func renderMacroTrace(t *testing.T, seed uint64, shards, workers int) (table, trace, metrics string) {
+	t.Helper()
+	SetMacroSharding(shards, workers)
+	defer SetMacroSharding(0, 0)
+	c := obs.NewCollector()
+	SetCollector(c)
+	defer SetCollector(nil)
+
+	tab, err := Run("macro-trace", seed)
+	if err != nil {
+		t.Fatalf("macro-trace(shards=%d workers=%d): %v", shards, workers, err)
+	}
+	var tb, mb bytes.Buffer
+	if err := obs.WriteJSONL(&tb, c.Scopes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteMetricsJSON(&mb, c.Scopes()); err != nil {
+		t.Fatal(err)
+	}
+	return tab.String(), tb.String(), mb.String()
+}
+
+// TestMacroTraceShardMatrix is the acceptance gate for the traffic engine:
+// the scenario's table, trace export and metrics export must be
+// byte-identical at every (shards, workers) combination, including the
+// parallel executor — arrivals are generated per-tenant from named rand
+// streams and every cross-tenant tie is broken by a globally unique
+// priority. (scripts/check.sh additionally pins the cebench -parallel
+// settings over the same matrix.)
+func TestMacroTraceShardMatrix(t *testing.T) {
+	SetTrafficScale(9, 1.0, 300)
+	defer SetTrafficScale(0, 0, 0)
+
+	refTab, refTrace, refMetrics := renderMacroTrace(t, 11, 1, 1)
+	if len(refTrace) < 100 {
+		t.Fatalf("reference trace implausibly small: %d bytes", len(refTrace))
+	}
+	for _, shards := range []int{1, 2, 8} {
+		for _, workers := range []int{1, 8} {
+			if shards == 1 && workers == 1 {
+				continue
+			}
+			name := fmt.Sprintf("shards=%d,workers=%d", shards, workers)
+			tab, trace, metrics := renderMacroTrace(t, 11, shards, workers)
+			if tab != refTab {
+				t.Errorf("%s: table diverges from shards=1,workers=1:\n--- ref\n%s\n--- got\n%s", name, refTab, tab)
+			}
+			if trace != refTrace {
+				t.Errorf("%s: trace export diverges (%d vs %d bytes)", name, len(refTrace), len(trace))
+			}
+			if metrics != refMetrics {
+				t.Errorf("%s: metrics export diverges", name)
+			}
+		}
+	}
+}
+
+// TestMacroTraceKindsShardStable runs the non-default generators (and the
+// trace-replay path) through the same byte-identity check at one parallel
+// setting, so every cursor kind is pinned, not just the default diurnal.
+func TestMacroTraceKindsShardStable(t *testing.T) {
+	SetTrafficScale(6, 1.0, 240)
+	defer SetTrafficScale(0, 0, 0)
+	defer SetTrafficKind("")
+	defer SetTraceData(nil)
+
+	// Two synthetic rows, replayed round-robin by 6 tenants.
+	if err := SetTraceData([]byte("3,0,9,2\n1,5,0,4\n")); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"poisson", "bursty", "trace"} {
+		if err := SetTrafficKind(kind); err != nil {
+			t.Fatal(err)
+		}
+		ref, _, _ := renderMacroTrace(t, 3, 1, 1)
+		got, _, _ := renderMacroTrace(t, 3, 8, 8)
+		if ref != got {
+			t.Errorf("kind=%s: table diverges between shards=1,workers=1 and shards=8,workers=8:\n--- ref\n%s\n--- got\n%s", kind, ref, got)
+		}
+		if !strings.Contains(ref, "kind="+kind) {
+			t.Errorf("kind=%s: note does not record the kind:\n%s", kind, ref)
+		}
+	}
+}
+
+// TestMacroTraceReplayCountsMatchTrace: with kind=trace, the scenario's
+// arrival column equals the replayed rows' totals exactly — the cursor
+// neither drops nor invents arrivals.
+func TestMacroTraceReplayCountsMatchTrace(t *testing.T) {
+	SetTrafficScale(2, 1.0, 600)
+	defer SetTrafficScale(0, 0, 0)
+	defer SetTrafficKind("")
+	defer SetTraceData(nil)
+	if err := SetTrafficKind("trace"); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetTraceData([]byte("2,7,0,3\n5,0,0,1\n")); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := Run("macro-trace", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalRow := tab.Rows[len(tab.Rows)-1]
+	// Columns: class tenants memMB arrivals completed dropped cold p50s p95s cost$.
+	if want := "18"; totalRow[3] != want {
+		t.Errorf("total arrivals = %s, want %s (sum of both trace rows)", totalRow[3], want)
+	}
+}
+
+// TestMacroTraceKindRequiresData: the trace kind without installed data is
+// a configuration error, not a silent empty run.
+func TestMacroTraceKindRequiresData(t *testing.T) {
+	defer SetTrafficKind("")
+	if err := SetTrafficKind("trace"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run("macro-trace", 1); err == nil {
+		t.Fatal("macro-trace ran with kind=trace and no trace data")
+	}
+}
+
+// TestMacroTraceSeedSensitivity guards against the scenario collapsing
+// into a constant: different seeds must produce different traffic.
+func TestMacroTraceSeedSensitivity(t *testing.T) {
+	SetTrafficScale(4, 1.0, 240)
+	defer SetTrafficScale(0, 0, 0)
+	a, err := Run("macro-trace", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("macro-trace", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("macro-trace output identical across seeds")
+	}
+}
+
+var noteNum = regexp.MustCompile(`(denials|retries|windows|invocations|events)=([0-9]+)`)
+
+// TestMacroTraceExercisesContention checks the default-scale scenario
+// stresses the shared-account paths: completions, cold starts, retries
+// under the cap, fairness windows, and a conservative latency quantile.
+func TestMacroTraceExercisesContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale macro run skipped in -short mode")
+	}
+	tab, err := Run("macro-trace", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tab.Rows[len(tab.Rows)-1]
+	// Columns: class tenants memMB arrivals completed dropped cold p50s p95s cost$.
+	if total[4] == "0" {
+		t.Error("no completions")
+	}
+	if total[6] == "0" {
+		t.Error("no cold starts")
+	}
+	if total[7] == "0" || total[8] == "0" {
+		t.Errorf("latency quantiles empty: p50=%s p95=%s", total[7], total[8])
+	}
+	nums := map[string]int{}
+	for _, m := range noteNum.FindAllStringSubmatch(tab.Notes, -1) {
+		n, _ := strconv.Atoi(m[2])
+		nums[m[1]] = n
+	}
+	if nums["retries"] == 0 {
+		t.Error("no retries: the shared concurrency cap never bound")
+	}
+	if nums["windows"] < 10 {
+		t.Errorf("only %d fairness windows over a 1800s horizon", nums["windows"])
+	}
+	if nums["invocations"] < 10000 {
+		t.Errorf("only %d invocations at the default scale", nums["invocations"])
+	}
+	if !strings.Contains(tab.Notes, "jain mean=") {
+		t.Error("note missing the fairness summary")
+	}
+}

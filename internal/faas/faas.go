@@ -335,6 +335,54 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 	return out, nil
 }
 
+// Invoke1 admits a single function of memMB memory: the arrival-path fast
+// path of InvokeGroup(1, memMB) for trace-driven traffic, where every
+// invocation is its own admission decision and the per-call slice
+// allocation (and wrapped error construction) of the group API would
+// dominate at tens of millions of arrivals. Semantics are identical to
+// InvokeGroup(1, memMB) — same warm-pool consumption, same jitter draw,
+// same billing and observability counters — except that the concurrency
+// denial returns the plain ErrConcurrencyExceeded sentinel, so the
+// admit/deny round trip performs no heap allocation at all when
+// observability is disabled.
+func (p *Platform) Invoke1(memMB int) (Invocation, error) {
+	if err := p.limits.ValidateMemory(memMB); err != nil {
+		return Invocation{}, err
+	}
+	if p.inFlight+1 > p.limits.MaxConcurrency {
+		return Invocation{}, ErrConcurrencyExceeded
+	}
+	p.inFlight++
+	if p.inFlight > p.peakInFlight {
+		p.peakInFlight = p.inFlight
+	}
+	inv := Invocation{MemMB: memMB}
+	if p.warm[memMB] > 0 {
+		p.takeWarm(memMB)
+		inv.StartDelay = p.startup.Warm
+	} else {
+		inv.Cold = true
+		inv.StartDelay = p.coldStart(memMB, p.rng)
+	}
+	p.meter.Invocations++
+	p.meter.InvokeCost += p.prices.FunctionInvoke
+	if p.obs.Enabled() {
+		st := p.obs.Stats()
+		st.Add("faas.invocations", 1)
+		if inv.Cold {
+			st.Inc("faas.cold_starts")
+			st.Observe("faas.cold_start_s", inv.StartDelay)
+		} else {
+			st.Inc("faas.warm_starts")
+		}
+		st.Add("faas.invoke_cost", p.prices.FunctionInvoke)
+		st.Set("faas.in_flight", float64(p.inFlight))
+		st.SetMax("faas.in_flight_peak", float64(p.peakInFlight))
+		st.Set("faas.warm_total", float64(p.warmTotal))
+	}
+	return inv, nil
+}
+
 // takeWarm consumes one warm sandbox and cancels its pending reclaim.
 func (p *Platform) takeWarm(memMB int) {
 	p.warm[memMB]--

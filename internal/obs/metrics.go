@@ -99,26 +99,17 @@ func (m *Metrics) DefineHistogram(name string, bounds []float64) {
 var defaultBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300, 1800, 3600, 14400}
 
 // Histogram is a fixed-bucket histogram: counts[i] tallies observations
-// v <= bounds[i]; the final slot counts overflow (+Inf bucket).
+// v <= bounds[i]; the final slot counts overflow (+Inf bucket). It wraps
+// the standalone Hist value so the bucket semantics live in one place.
 type Histogram struct {
-	bounds []float64
-	counts []uint64
-	sum    float64
-	total  uint64
+	h Hist
 }
 
 func newHistogram(bounds []float64) *Histogram {
-	b := make([]float64, len(bounds))
-	copy(b, bounds)
-	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+	return &Histogram{h: *NewHist(bounds)}
 }
 
-func (h *Histogram) observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
-	h.counts[i]++
-	h.sum += v
-	h.total++
-}
+func (h *Histogram) observe(v float64) { h.h.Observe(v) }
 
 // HistSnapshot is a point-in-time copy of a histogram.
 type HistSnapshot struct {
@@ -168,14 +159,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		h := m.hists[k]
-		hs := HistSnapshot{
-			Bounds: append([]float64(nil), h.bounds...),
-			Counts: append([]uint64(nil), h.counts...),
-			Sum:    h.sum,
-			Total:  h.total,
-		}
-		s.Histograms = append(s.Histograms, NamedHist{Name: k, Hist: hs})
+		s.Histograms = append(s.Histograms, NamedHist{Name: k, Hist: m.hists[k].h.Snapshot()})
 	}
 	return s
 }

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// The registry histogram's documented invariants — exact-bound placement,
+// the implicit overflow bucket, and DefineHistogram being a no-op once the
+// histogram exists — were documented but untested. These tests pin them.
+
+func histSnap(t *testing.T, m *Metrics, name string) HistSnapshot {
+	t.Helper()
+	for _, h := range m.Snapshot().Histograms {
+		if h.Name == name {
+			return h.Hist
+		}
+	}
+	t.Fatalf("histogram %q not in snapshot", name)
+	return HistSnapshot{}
+}
+
+// TestHistogramExactBoundLandsInBucket: a value exactly equal to a bucket's
+// upper bound counts in that bucket (v <= bound), not the next one.
+func TestHistogramExactBoundLandsInBucket(t *testing.T) {
+	m := NewMetrics()
+	m.DefineHistogram("h", []float64{1, 10, 100})
+	m.Observe("h", 1)
+	m.Observe("h", 10)
+	m.Observe("h", 100)
+	s := histSnap(t, m, "h")
+	for i, want := range []uint64{1, 1, 1, 0} {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d (exact-bound values must land in their own bucket)", i, s.Counts[i], want)
+		}
+	}
+}
+
+// TestHistogramOverflowBucket: values above every bound land in the
+// implicit +Inf bucket, and the bucket layout has exactly len(bounds)+1
+// slots.
+func TestHistogramOverflowBucket(t *testing.T) {
+	m := NewMetrics()
+	m.DefineHistogram("h", []float64{1, 2})
+	m.Observe("h", 2.0000001)
+	m.Observe("h", 1e18)
+	m.Observe("h", math.Inf(1))
+	s := histSnap(t, m, "h")
+	if len(s.Counts) != len(s.Bounds)+1 {
+		t.Fatalf("%d counts for %d bounds, want bounds+1", len(s.Counts), len(s.Bounds))
+	}
+	if over := s.Counts[len(s.Counts)-1]; over != 3 {
+		t.Errorf("overflow bucket = %d, want 3", over)
+	}
+	if s.Total != 3 {
+		t.Errorf("total = %d, want 3", s.Total)
+	}
+}
+
+// TestDefineHistogramAfterObserveIsNoOp: once a histogram exists (created
+// implicitly by Observe with default buckets), DefineHistogram must not
+// replace it — counts are never silently dropped.
+func TestDefineHistogramAfterObserveIsNoOp(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("h", 0.5)
+	m.DefineHistogram("h", []float64{42})
+	s := histSnap(t, m, "h")
+	if len(s.Bounds) != len(defaultBuckets) {
+		t.Fatalf("bounds redefined to %v; DefineHistogram after Observe must be a no-op", s.Bounds)
+	}
+	if s.Total != 1 {
+		t.Errorf("total = %d, want 1 (observation dropped by redefinition)", s.Total)
+	}
+	// And the reverse order works: define first, observe into it.
+	m.DefineHistogram("g", []float64{42})
+	m.Observe("g", 1)
+	if g := histSnap(t, m, "g"); len(g.Bounds) != 1 || g.Bounds[0] != 42 {
+		t.Errorf("pre-defined bounds %v, want [42]", g.Bounds)
+	}
+}
+
+// TestDefineHistogramCopiesBounds: the caller's slice must not alias the
+// histogram's internal bounds.
+func TestDefineHistogramCopiesBounds(t *testing.T) {
+	m := NewMetrics()
+	bounds := []float64{1, 2, 3}
+	m.DefineHistogram("h", bounds)
+	bounds[0] = 99
+	m.Observe("h", 1)
+	s := histSnap(t, m, "h")
+	if s.Bounds[0] != 1 {
+		t.Error("DefineHistogram aliased the caller's bounds slice")
+	}
+	if s.Counts[0] != 1 {
+		t.Error("mutating the caller's slice after DefineHistogram changed bucketing")
+	}
+}

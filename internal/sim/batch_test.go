@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// batchFiringOrder runs one simulation scheduling the given (time, pri)
+// pairs — either individually or through ScheduleBatch in chunks — and
+// returns the indices in firing order.
+func batchFiringOrder(pairs [][2]float64, chunk int) []int {
+	s := New(1)
+	sh := s.Main()
+	var got []int
+	if chunk <= 0 {
+		for i, p := range pairs {
+			i := i
+			sh.SchedulePriority(Time(p[0]), int(p[1]), func() { got = append(got, i) })
+		}
+	} else {
+		for lo := 0; lo < len(pairs); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pairs) {
+				hi = len(pairs)
+			}
+			batch := make([]BatchEvent, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				i := i
+				batch = append(batch, BatchEvent{At: Time(pairs[i][0]), Pri: int(pairs[i][1]), Fn: func() { got = append(got, i) }})
+			}
+			sh.ScheduleBatch(batch)
+		}
+	}
+	s.Run()
+	return got
+}
+
+// TestScheduleBatchMatchesIndividual pins the batch API's contract: the
+// firing order is identical to scheduling the same entries one by one, for
+// both the small-batch (sift-up) and large-batch (bottom-up heapify) paths.
+func TestScheduleBatchMatchesIndividual(t *testing.T) {
+	r := NewRand(42)
+	const n = 500
+	pairs := make([][2]float64, n)
+	for i := range pairs {
+		// Coarse times + small priority range force plenty of ties, which
+		// the per-shard sequence numbers must break in insertion order.
+		pairs[i] = [2]float64{float64(r.Intn(40)), float64(r.Intn(3))}
+	}
+	ref := batchFiringOrder(pairs, 0)
+	if len(ref) != n {
+		t.Fatalf("reference fired %d events, want %d", len(ref), n)
+	}
+	for _, chunk := range []int{1, 7, 64, n} {
+		got := batchFiringOrder(pairs, chunk)
+		if fmt.Sprint(got) != fmt.Sprint(ref) {
+			t.Errorf("chunk=%d: firing order diverges from individual scheduling", chunk)
+		}
+	}
+}
+
+// TestScheduleBatchHeapifyPath forces the bottom-up heapify branch (batch
+// much larger than the pending queue) and checks full ordering.
+func TestScheduleBatchHeapifyPath(t *testing.T) {
+	s := New(7)
+	sh := s.Main()
+	var got []Time
+	sh.Schedule(5, func() { got = append(got, sh.Now()) })
+	r := NewRand(9)
+	batch := make([]BatchEvent, 300)
+	for i := range batch {
+		at := Time(r.Float64() * 100)
+		batch[i] = BatchEvent{At: at, Fn: func() { got = append(got, sh.Now()) }}
+	}
+	sh.ScheduleBatch(batch)
+	s.Run()
+	if len(got) != 301 {
+		t.Fatalf("fired %d events, want 301", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("event %d fired at %v after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
+// TestScheduleBatchFromEvent checks an event may batch onto its own shard
+// mid-run (the arrival-pump pattern) including entries at the current
+// instant, and that the new events fire in the same run.
+func TestScheduleBatchFromEvent(t *testing.T) {
+	s := New(3)
+	sh := s.Main()
+	fired := 0
+	sh.Schedule(10, func() {
+		sh.ScheduleBatch([]BatchEvent{
+			{At: 10, Pri: 1, Fn: func() { fired++ }},
+			{At: 12, Fn: func() { fired++ }},
+		})
+	})
+	s.Run()
+	if fired != 2 {
+		t.Fatalf("batch scheduled mid-run fired %d events, want 2", fired)
+	}
+}
+
+func TestScheduleBatchPastTimePanics(t *testing.T) {
+	s := New(1)
+	sh := s.Main()
+	sh.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("batch entry in the past did not panic")
+			}
+		}()
+		sh.ScheduleBatch([]BatchEvent{{At: 5, Fn: func() {}}})
+	})
+	s.Run()
+}
+
+func TestScheduleBatchCrossShardPanics(t *testing.T) {
+	s := New(1)
+	s.EnsureShards(2)
+	s.SetLookahead(1)
+	other := s.Shard(1)
+	s.Main().Schedule(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("cross-shard ScheduleBatch did not panic")
+			}
+		}()
+		other.ScheduleBatch([]BatchEvent{{At: 2, Fn: func() {}}})
+	})
+	s.Run()
+}
+
+// TestScheduleBatchRecyclesSlots verifies batch slots return to the free
+// list like individually scheduled ones: a steady-state pump does not grow
+// the arena.
+func TestScheduleBatchRecyclesSlots(t *testing.T) {
+	s := New(1)
+	sh := s.Main()
+	batch := make([]BatchEvent, 64)
+	for round := 0; round < 50; round++ {
+		at := Time(round * 10)
+		for i := range batch {
+			batch[i] = BatchEvent{At: at + Time(float64(i)*0.1), Fn: func() {}}
+		}
+		sh.ScheduleBatch(batch)
+		s.Run()
+	}
+	if sh.allocs > 128 {
+		t.Fatalf("steady-state batch pump carved %d fresh slots; free list not reused", sh.allocs)
+	}
+}

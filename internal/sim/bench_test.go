@@ -65,6 +65,49 @@ func BenchmarkScheduleCancel(b *testing.B) {
 	s.Run()
 }
 
+// BenchmarkScheduleBatch measures bulk burst injection: each op is one
+// event of a 256-event batch landing on a queue that already holds 256
+// pending events, then firing. Compare BenchmarkScheduleBurstIndividual:
+// the same burst pushed one SchedulePriority at a time.
+func BenchmarkScheduleBatch(b *testing.B) {
+	benchBurst(b, true)
+}
+
+// BenchmarkScheduleBurstIndividual is the per-event baseline for
+// BenchmarkScheduleBatch.
+func BenchmarkScheduleBurstIndividual(b *testing.B) {
+	benchBurst(b, false)
+}
+
+func benchBurst(b *testing.B, batched bool) {
+	b.ReportAllocs()
+	const burst = 256
+	s := New(1)
+	sh := s.Main()
+	nop := func() {}
+	batch := make([]BatchEvent, burst)
+	fired := 0
+	for fired < b.N {
+		base := sh.Now() + 1
+		// A standing backlog so the burst pays realistic sift depth.
+		for i := 0; i < burst; i++ {
+			sh.Schedule(base+Time(2+float64(i)), nop)
+		}
+		if batched {
+			for i := 0; i < burst; i++ {
+				batch[i] = BatchEvent{At: base + Time(float64(i)/burst), Fn: nop}
+			}
+			sh.ScheduleBatch(batch)
+		} else {
+			for i := 0; i < burst; i++ {
+				sh.SchedulePriority(base+Time(float64(i)/burst), 0, nop)
+			}
+		}
+		fired += 2 * burst
+		s.Run()
+	}
+}
+
 // BenchmarkShardedMergeRun runs 8 independent self-scheduling chains, one
 // per shard, through the sequential global merge — the cost of sharding
 // when no parallelism is available. One op = one fired event; comparing

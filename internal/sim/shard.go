@@ -247,6 +247,71 @@ func (sh *Shard) PostAfter(to *Shard, d Duration, priority int, fn func()) {
 	sh.Post(to, sh.now+Time(d), priority, fn)
 }
 
+// BatchEvent is one entry of a ScheduleBatch bulk injection.
+type BatchEvent struct {
+	At  Time
+	Pri int
+	Fn  func()
+}
+
+// ScheduleBatch schedules every entry onto this shard under the same rules
+// as SchedulePriority (own-shard only, no past or non-finite times), with
+// sequence numbers assigned in slice order — so the firing order among
+// same-(time, priority) entries is the slice order, exactly as if each had
+// been scheduled individually.
+//
+// The point of the batch form is amortization for burst arrivals: when the
+// batch is large relative to the pending queue the heap is rebuilt bottom-up
+// (Floyd) in O(pending + batch) instead of paying O(batch * log(pending))
+// sift-ups; small batches fall back to individual pushes. Batch events
+// return no handles and cannot be canceled.
+func (sh *Shard) ScheduleBatch(batch []BatchEvent) {
+	s := sh.sim
+	if d := s.draining; d != nil && d != sh {
+		panic(fmt.Sprintf("sim: shard %d batch-scheduled onto shard %d; cross-shard sends must go through Post", d.idx, sh.idx))
+	}
+	if s.parallelActive && !sh.executing {
+		panic(fmt.Sprintf("sim: batch schedule onto shard %d from another shard inside a parallel window; use Post", sh.idx))
+	}
+	for i := range batch {
+		at := batch[i].At
+		if at < sh.now {
+			panic(fmt.Sprintf("sim: batch entry %d scheduled at %v before now %v", i, at, sh.now))
+		}
+		if math.IsNaN(float64(at)) || math.IsInf(float64(at), 0) {
+			panic(fmt.Sprintf("sim: batch entry %d scheduled at non-finite time %v", i, float64(at)))
+		}
+	}
+	// Below the amortization break-even, individual sift-ups are cheaper
+	// than re-heapifying the whole queue.
+	if len(batch)*8 < len(sh.heap) {
+		for i := range batch {
+			slot := sh.newSlot()
+			slot.fn, slot.at = batch[i].Fn, batch[i].At
+			slot.canceled = false
+			sh.enqueue2(batch[i].At, batch[i].Pri, slot)
+		}
+		return
+	}
+	q := sh.heap
+	if need := len(q) + len(batch); cap(q) < need {
+		grown := make([]heapEntry, len(q), need)
+		copy(grown, q)
+		q = grown
+	}
+	for i := range batch {
+		slot := sh.newSlot()
+		slot.fn, slot.at = batch[i].Fn, batch[i].At
+		slot.canceled = false
+		q = append(q, heapEntry{at: batch[i].At, pri: batch[i].Pri, seq: sh.seq, slot: slot})
+		sh.seq++
+	}
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		siftDown(q, i)
+	}
+	sh.heap = q
+}
+
 // enqueue inserts an already-validated event (a delivered post) into the
 // shard's heap, assigning the next sequence number.
 func (sh *Shard) enqueue(at Time, priority int, fn func()) {
@@ -374,8 +439,13 @@ func (sh *Shard) heapPop() heapEntry {
 	q[n] = heapEntry{}
 	q = q[:n]
 	sh.heap = q
-	// Sift the moved element down to restore the heap order.
-	i := 0
+	siftDown(q, 0)
+	return top
+}
+
+// siftDown restores the heap order below index i after q[i] was replaced.
+func siftDown(q []heapEntry, i int) {
+	n := len(q)
 	for {
 		l := 2*i + 1
 		if l >= n {
@@ -391,5 +461,4 @@ func (sh *Shard) heapPop() heapEntry {
 		q[i], q[m] = q[m], q[i]
 		i = m
 	}
-	return top
 }

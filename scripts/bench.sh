@@ -1,128 +1,157 @@
 #!/bin/sh
-# Performance snapshot for the PR 7 fleet-cheap control-path pass:
-# microbenchmarks of the per-epoch Algorithm-2 decision (fit -> predict ->
-# select -> log) and the curve fitter, plus the macro-fleet scenario — 1000
-# concurrent controllers on one shared serverless account — at shards=1 and
-# shards=8 with the parallel window executor. Writes BENCH_PR7.json next to
-# the numbers from the pre-PR7 path (measured on the same host with these
-# benchmarks before the rewrite).
+# Performance snapshot for the PR 8 traffic-engine pass: the zero-alloc
+# trace parser and arrival-cursor microbenchmarks, the kernel's bulk
+# ScheduleBatch vs individual scheduling, and the macro-trace scenario —
+# 128 open-loop tenant streams (>=10M invocations over a 24h horizon) on
+# one shared serverless account — at shards=1 and shards=8 with the
+# parallel window executor. Writes BENCH_PR8.json plus the unified
+# BENCH.json ({bench, value, unit, pr} rows) covering the measured PR8
+# numbers and the curated headline numbers from BENCH_PR2/3/6/7.
 #
 # Honesty notes:
-#   - "before" DecisionSteadyState is the historical bit-identical decision
-#     path (per-decision cold LM fit, linear frontier scan, allocating
-#     normal equations). "after" reports both the tuned fleet configuration
-#     (DecisionFleet: bounded window, warm-started budget-capped refits —
-#     what macro-fleet tenants run, and what the >=3x gate is judged on)
-#     and the still-bit-identical default (DecisionSteadyState, now 0
-#     allocs/op; its remaining cost is LM iteration count on the noisy
-#     bench curve, inherent to Tol=1e-10 exact refits).
+#   - There is no pre-PR8 traffic engine to diff against; the throughput
+#     bar is PR6's macro-day rate on this host (1,839,964 events/sec at
+#     shards=1, BENCH_PR6.json) and the run fails if macro-trace lands
+#     under it. macro-trace fires ~6 events per invocation (pump, arrive,
+#     admit, grant, done, release) versus macro-day's ~2, so clearing the
+#     bar means the per-event cost got cheaper, not the events simpler.
+#   - The memory discipline claim (peak RSS is O(tenants), independent of
+#     invocation count) is demonstrated by running the same 128 tenants at
+#     two trace lengths (24h and 12h): invocations halve, RSS stays flat.
 #   - On a 1-CPU container the shards=8/workers=8 run measures executor
 #     overhead, not speedup; determinism holds at every setting regardless.
 #
-#   scripts/bench.sh                 # full run, writes BENCH_PR7.json
-#   BENCH_COUNT=5 scripts/bench.sh   # more benchmark samples for benchstat
+#   scripts/bench.sh                  # full run, writes BENCH_PR8.json + BENCH.json
+#   BENCH_COUNT=5 scripts/bench.sh    # more benchmark samples for benchstat
 #   BENCH_OUT=/tmp/b.json scripts/bench.sh
-#   FLEET_TENANTS=4000 scripts/bench.sh
+#   TRAFFIC_TENANTS=256 scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR7.json}"
+OUT="${BENCH_OUT:-BENCH_PR8.json}"
+UNIFIED="${BENCH_UNIFIED_OUT:-BENCH.json}"
 COUNT="${BENCH_COUNT:-1}"
 SEED=2023
-TENANTS="${FLEET_TENANTS:-1000}"
-MICRO=/tmp/cebench_pr7_bench.txt
+TENANTS="${TRAFFIC_TENANTS:-128}"
+RATE="${TRAFFIC_RATE:-1}"
+HORIZON="${TRAFFIC_HORIZON:-86400}"
+MICRO=/tmp/cebench_pr8_bench.txt
 
-echo "== zero-alloc gates (steady-state fit/decision must not touch the heap)"
+echo "== zero-alloc gates (steady-state fit/observe/decision/traffic/invoke must not touch the heap)"
 go test -run 'TestFitterZeroAlloc|TestFixedWindowObserveZeroAlloc|TestDecisionZeroAlloc' \
 	./internal/fit/ ./internal/predictor/ ./internal/scheduler/
+go test -run 'TestHistObserveZeroAlloc|TestCursorNextZeroAlloc|TestInvoke1SteadyStateZeroAlloc|TestInvoke1DenialZeroAlloc' \
+	./internal/obs/ ./internal/traffic/ ./internal/faas/
 
-echo "== decision-path microbenchmarks, count=$COUNT"
-go test -run '^$' \
-	-bench 'BenchmarkDecisionSteadyState$|BenchmarkDecisionWithinDelta$|BenchmarkDecisionFleet$|BenchmarkSelectBest$|BenchmarkSelectBestFullEnum$' \
-	-benchmem -count "$COUNT" ./internal/scheduler/ | tee "$MICRO"
-go test -run '^$' \
-	-bench 'BenchmarkFitInverseLinear$|BenchmarkFitPowerLaw$|BenchmarkFitterCold$|BenchmarkFitterWarm$' \
-	-benchmem -count "$COUNT" ./internal/fit/ | tee -a "$MICRO"
+echo "== traffic-engine microbenchmarks, count=$COUNT"
+go test -run '^$' -bench 'BenchmarkParseTrace$' \
+	-benchmem -count "$COUNT" ./internal/traffic/ | tee "$MICRO"
+go test -run '^$' -bench 'BenchmarkScheduleBatch$|BenchmarkScheduleBurstIndividual$|BenchmarkScheduleRun$' \
+	-benchmem -count "$COUNT" ./internal/sim/ | tee -a "$MICRO"
 
-echo "== macro-fleet: $TENANTS concurrent Algorithm-2 controllers (seed $SEED)"
+echo "== macro-trace: $TENANTS open-loop streams x ${RATE}/s x ${HORIZON}s (seed $SEED)"
 go build -o /tmp/cebench.bench ./cmd/cebench
 
-run_fleet() { # $1=shards $2=workers $3=stdout-file $4=stderr-file
+run_trace() { # $1=shards $2=workers $3=horizon $4=stdout-file $5=stderr-file
 	/tmp/cebench.bench -seed "$SEED" -rusage \
-		-fleet-tenants "$TENANTS" \
-		-shards "$1" -sim-workers "$2" macro-fleet >"$3" 2>"$4"
+		-traffic-tenants "$TENANTS" -traffic-rate "$RATE" -traffic-horizon "$3" \
+		-shards "$1" -sim-workers "$2" macro-trace >"$4" 2>"$5"
 }
 
 t0=$(date +%s%3N)
-run_fleet 1 1 /tmp/fleet.s1.txt /tmp/fleet.s1.err
+run_trace 1 1 "$HORIZON" /tmp/trace.s1.txt /tmp/trace.s1.err
 t1=$(date +%s%3N)
 s1_ms=$((t1 - t0))
 
 t0=$(date +%s%3N)
-run_fleet 8 8 /tmp/fleet.s8.txt /tmp/fleet.s8.err
+run_trace 8 8 "$HORIZON" /tmp/trace.s8.txt /tmp/trace.s8.err
 t1=$(date +%s%3N)
 s8_ms=$((t1 - t0))
 
-cmp /tmp/fleet.s1.txt /tmp/fleet.s8.txt || {
-	echo "macro-fleet stdout differs between shards=1 and shards=8"; exit 1;
+cmp /tmp/trace.s1.txt /tmp/trace.s8.txt || {
+	echo "macro-trace stdout differs between shards=1 and shards=8"; exit 1;
 }
 
-DECISIONS="$(sed -n 's/.*decisions=\([0-9]*\).*/\1/p' /tmp/fleet.s1.txt | tail -1)"
-EVENTS="$(sed -n 's/.*events=\([0-9]*\).*/\1/p' /tmp/fleet.s1.txt | tail -1)"
-RSS1="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/fleet.s1.err | tail -1)"
-CORES="$(sed -n 's/.*cores=\([0-9]*\).*/\1/p' /tmp/fleet.s1.err | tail -1)"
-[ -n "$DECISIONS" ] || DECISIONS=0
+HALF_HORIZON="$(awk -v h="$HORIZON" 'BEGIN { printf "%g", h / 2 }')"
+run_trace 1 1 "$HALF_HORIZON" /tmp/trace.half.txt /tmp/trace.half.err
+
+INV="$(sed -n 's/.*invocations=\([0-9]*\).*/\1/p' /tmp/trace.s1.txt | tail -1)"
+EVENTS="$(sed -n 's/.*events=\([0-9]*\).*/\1/p' /tmp/trace.s1.txt | tail -1)"
+RSS1="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/trace.s1.err | tail -1)"
+RSS8="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/trace.s8.err | tail -1)"
+CORES="$(sed -n 's/.*cores=\([0-9]*\).*/\1/p' /tmp/trace.s1.err | tail -1)"
+INV_HALF="$(sed -n 's/.*invocations=\([0-9]*\).*/\1/p' /tmp/trace.half.txt | tail -1)"
+RSS_HALF="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/trace.half.err | tail -1)"
+[ -n "$INV" ] || INV=0
 [ -n "$EVENTS" ] || EVENTS=0
 [ -n "$RSS1" ] || RSS1=0
+[ -n "$RSS8" ] || RSS8=0
 [ -n "$CORES" ] || CORES=0
+[ -n "$INV_HALF" ] || INV_HALF=0
+[ -n "$RSS_HALF" ] || RSS_HALF=0
 
 echo "shards=1/workers=1: ${s1_ms}ms, peak RSS ${RSS1}kB"
-echo "shards=8/workers=8: ${s8_ms}ms"
-echo "decisions: $DECISIONS, events: $EVENTS (byte-identical stdout across configs), cores: $CORES"
+echo "shards=8/workers=8: ${s8_ms}ms, peak RSS ${RSS8}kB"
+echo "invocations: $INV ($INV_HALF at half horizon), events: $EVENTS (byte-identical stdout across configs)"
+echo "half-horizon peak RSS: ${RSS_HALF}kB (flat RSS at half the invocations => O(tenants) memory)"
 
-# Summarize microbenchmarks into JSON: mean ns/op and allocs/op per name.
-awk -v s1_ms="$s1_ms" -v s8_ms="$s8_ms" -v decisions="$DECISIONS" -v events="$EVENTS" \
-	-v rss1="$RSS1" -v cores="$CORES" -v seed="$SEED" -v tenants="$TENANTS" '
+if [ "$INV" -lt 10000000 ] && [ "$TENANTS" -eq 128 ] && [ "$HORIZON" = 86400 ]; then
+	echo "macro-trace produced $INV invocations, expected >= 10M at the default scale"; exit 1
+fi
+awk -v e="$EVENTS" -v ms="$s1_ms" 'BEGIN {
+	eps = ms > 0 ? e * 1000.0 / ms : 0
+	printf "events/sec (shards=1): %.0f (bar: 1839964, PR6 macro-day on this host)\n", eps
+	if (eps < 1839964) { print "macro-trace events/sec under the PR6 macro-day bar"; exit 1 }
+}'
+
+# Summarize microbenchmarks into BENCH_PR8.json: mean ns/op, MB/s and
+# allocs/op per name, then the macro-trace numbers.
+awk -v s1_ms="$s1_ms" -v s8_ms="$s8_ms" -v inv="$INV" -v events="$EVENTS" \
+	-v rss1="$RSS1" -v rss8="$RSS8" -v cores="$CORES" -v seed="$SEED" \
+	-v tenants="$TENANTS" -v rate="$RATE" -v horizon="$HORIZON" \
+	-v half_horizon="$HALF_HORIZON" -v inv_half="$INV_HALF" -v rss_half="$RSS_HALF" '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	for (i = 2; i <= NF; i++) {
 		if ($(i) == "ns/op")     { ns[name] += $(i-1); nsn[name]++ }
+		if ($(i) == "MB/s")      { mb[name] += $(i-1); mbn[name]++ }
 		if ($(i) == "allocs/op") { al[name] += $(i-1); aln[name]++ }
 	}
 }
 END {
 	printf "{\n"
-	printf "  \"pr\": 7,\n"
+	printf "  \"pr\": 8,\n"
 	printf "  \"seed\": %d,\n", seed
-	printf "  \"note\": \"after = fleet-cheap Algorithm 2 (reusable zero-alloc Fitter, dense cost tables, interned shared frontiers, binary-search selection); before = pre-PR7 path on the same host. The >=3x + 0 allocs steady-state gate is judged on DecisionFleet (the tuning macro-fleet tenants run: window 32, warm start, refit budget 10); DecisionSteadyState keeps exact bit-identical refits and its cost is LM iteration count, not allocation. decisions_per_sec are honest single-host numbers including all DES event overhead.\",\n"
-	printf "  \"before\": {\n"
-	printf "    \"BenchmarkDecisionSteadyState\": {\"ns_per_op\": 145395, \"allocs_per_op\": 1137},\n"
-	printf "    \"BenchmarkDecisionWithinDelta\": {\"ns_per_op\": 148997, \"allocs_per_op\": 1135},\n"
-	printf "    \"BenchmarkSelectBest\": {\"ns_per_op\": 81.1, \"allocs_per_op\": 0},\n"
-	printf "    \"BenchmarkSelectBestFullEnum\": {\"ns_per_op\": 909.2, \"allocs_per_op\": 0},\n"
-	printf "    \"BenchmarkFitInverseLinear\": {\"ns_per_op\": 7739, \"allocs_per_op\": 61},\n"
-	printf "    \"BenchmarkFitPowerLaw\": {\"ns_per_op\": 105162, \"allocs_per_op\": 181}\n"
-	printf "  },\n"
+	printf "  \"note\": \"Traffic engine: lazy arrival cursors (one pending pump event per tenant), zero-alloc trace parsing, bulk ScheduleBatch injection, pooled invocation frames and streaming per-tenant aggregation. No pre-PR8 traffic path exists, so the throughput bar is PR6 macro-day on this host (1839964 events/sec, shards=1) and the memory claim is shown by two trace lengths: half the horizon halves invocations while peak RSS stays flat (O(tenants)). events_per_sec are honest single-host numbers; with cores=1 the shards=8/workers=8 run measures executor overhead, not speedup.\",\n"
 	printf "  \"after\": {\n"
 	for (name in ns) {
 		printf "    \"%s\": {\"ns_per_op\": %.2f", name, ns[name] / nsn[name]
+		if (mbn[name] > 0) printf ", \"mb_per_sec\": %.2f", mb[name] / mbn[name]
 		if (aln[name] > 0) printf ", \"allocs_per_op\": %.1f", al[name] / aln[name]
 		printf "},\n"
 	}
-	printf "    \"macro_fleet\": {\n"
+	printf "    \"macro_trace\": {\n"
 	printf "      \"tenants\": %d,\n", tenants
-	printf "      \"decisions\": %d,\n", decisions
+	printf "      \"rate_per_sec\": %g,\n", rate
+	printf "      \"horizon_s\": %g,\n", horizon
+	printf "      \"invocations\": %d,\n", inv
 	printf "      \"events\": %d,\n", events
 	printf "      \"cores\": %d,\n", cores
-	dps1 = s1_ms > 0 ? decisions * 1000.0 / s1_ms : 0
-	npd1 = decisions > 0 ? s1_ms * 1e6 / decisions : 0
+	eps1 = s1_ms > 0 ? events * 1000.0 / s1_ms : 0
+	eps8 = s8_ms > 0 ? events * 1000.0 / s8_ms : 0
 	printf "      \"shards1_ms\": %d,\n", s1_ms
-	printf "      \"shards1_decisions_per_sec\": %.0f,\n", dps1
-	printf "      \"shards1_ns_per_decision\": %.0f,\n", npd1
+	printf "      \"shards1_events_per_sec\": %.0f,\n", eps1
 	printf "      \"shards1_peak_rss_kb\": %d,\n", rss1
 	printf "      \"shards8_workers8_ms\": %d,\n", s8_ms
+	printf "      \"shards8_workers8_events_per_sec\": %.0f,\n", eps8
+	printf "      \"shards8_workers8_peak_rss_kb\": %d,\n", rss8
+	printf "      \"half_horizon_s\": %g,\n", half_horizon
+	printf "      \"half_horizon_invocations\": %d,\n", inv_half
+	printf "      \"half_horizon_peak_rss_kb\": %d,\n", rss_half
+	if (rss_half > 0) printf "      \"rss_full_over_half\": %.3f,\n", rss1 / rss_half
+	printf "      \"pr6_macro_day_events_per_sec_bar\": 1839964,\n"
 	printf "      \"stdout_identical_across_configs\": true\n"
 	printf "    }\n"
 	printf "  }\n"
@@ -130,3 +159,32 @@ END {
 }' "$MICRO" > "$OUT"
 
 echo "wrote $OUT"
+
+# The unified perf trajectory: one flat {bench, value, unit, pr} row per
+# headline number. PR2/3/6/7 rows are the recorded results from
+# BENCH_PR2/3/6/7.json (same host); PR8 rows are this run.
+PARSE_MBPS="$(awk '/^BenchmarkParseTrace/ { for (i = 2; i <= NF; i++) if ($(i) == "MB/s") { s += $(i-1); n++ } } END { printf "%.2f", (n > 0 ? s / n : 0) }' "$MICRO")"
+BATCH_NS="$(awk '/^BenchmarkScheduleBatch-/ || /^BenchmarkScheduleBatch / { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") { s += $(i-1); n++ } } END { printf "%.2f", (n > 0 ? s / n : 0) }' "$MICRO")"
+awk -v s1_ms="$s1_ms" -v inv="$INV" -v events="$EVENTS" -v rss1="$RSS1" \
+	-v rss_half="$RSS_HALF" -v parse_mbps="$PARSE_MBPS" -v batch_ns="$BATCH_NS" '
+BEGIN {
+	eps1 = s1_ms > 0 ? events * 1000.0 / s1_ms : 0
+	printf "[\n"
+	printf "  {\"bench\": \"sim_schedule_run\", \"value\": 12.33, \"unit\": \"ns/op\", \"pr\": 2},\n"
+	printf "  {\"bench\": \"cebench_all_parallel\", \"value\": 7518, \"unit\": \"ms\", \"pr\": 2},\n"
+	printf "  {\"bench\": \"ml_run_epoch\", \"value\": 507633, \"unit\": \"ns/op\", \"pr\": 3},\n"
+	printf "  {\"bench\": \"cebench_all_serial\", \"value\": 3768, \"unit\": \"ms\", \"pr\": 3},\n"
+	printf "  {\"bench\": \"macro_day_shards1\", \"value\": 1839964, \"unit\": \"events/s\", \"pr\": 6},\n"
+	printf "  {\"bench\": \"macro_day_shards1_peak_rss\", \"value\": 10024, \"unit\": \"kB\", \"pr\": 6},\n"
+	printf "  {\"bench\": \"decision_fleet\", \"value\": 1398, \"unit\": \"ns/op\", \"pr\": 7},\n"
+	printf "  {\"bench\": \"macro_fleet_shards1\", \"value\": 138182, \"unit\": \"decisions/s\", \"pr\": 7},\n"
+	printf "  {\"bench\": \"trace_parse\", \"value\": %s, \"unit\": \"MB/s\", \"pr\": 8},\n", parse_mbps
+	printf "  {\"bench\": \"sim_schedule_batch\", \"value\": %s, \"unit\": \"ns/op\", \"pr\": 8},\n", batch_ns
+	printf "  {\"bench\": \"macro_trace_invocations\", \"value\": %d, \"unit\": \"invocations\", \"pr\": 8},\n", inv
+	printf "  {\"bench\": \"macro_trace_shards1\", \"value\": %.0f, \"unit\": \"events/s\", \"pr\": 8},\n", eps1
+	printf "  {\"bench\": \"macro_trace_shards1_peak_rss\", \"value\": %d, \"unit\": \"kB\", \"pr\": 8},\n", rss1
+	printf "  {\"bench\": \"macro_trace_half_horizon_peak_rss\", \"value\": %d, \"unit\": \"kB\", \"pr\": 8}\n", rss_half
+	printf "]\n"
+}' > "$UNIFIED"
+
+echo "wrote $UNIFIED"

@@ -36,7 +36,7 @@ go test -run 'TestKernelMatchesReferenceHeap|TestRunUntilNeverMovesClockBackward
 
 echo "== shard determinism gate (byte-identical at every shard count and worker count)"
 go test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
-go test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix' ./internal/experiments/
+go test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix|TestMacroTraceShardMatrix|TestMacroTraceKindsShardStable' ./internal/experiments/
 go build -o /tmp/cebench.check ./cmd/cebench
 /tmp/cebench.check -shards 1 -sim-workers 1 macro-day 2>/dev/null > /tmp/cebench.shards1.txt
 /tmp/cebench.check -shards 8 -sim-workers 8 macro-day 2>/dev/null > /tmp/cebench.shards8.txt
@@ -61,15 +61,44 @@ cmp /tmp/cebench.fleet.p1.txt /tmp/cebench.fleet.p8.txt || {
 	echo "cebench macro-fleet stdout differs between -parallel 1 and -parallel 8"; exit 1;
 }
 
+echo "== macro-trace determinism matrix (open-loop traffic, shards x workers x -parallel)"
+for cfg in "1 1" "1 8" "2 8" "8 1" "8 8"; do
+	set -- $cfg
+	/tmp/cebench.check -traffic-tenants 48 -traffic-rate 1 -traffic-horizon 900 \
+		-shards "$1" -sim-workers "$2" macro-trace 2>/dev/null > "/tmp/cebench.traffic.s$1w$2.txt"
+done
+for f in /tmp/cebench.traffic.s1w8.txt /tmp/cebench.traffic.s2w8.txt /tmp/cebench.traffic.s8w1.txt /tmp/cebench.traffic.s8w8.txt; do
+	cmp /tmp/cebench.traffic.s1w1.txt "$f" || {
+		echo "cebench macro-trace stdout differs across the shard matrix ($f)"; exit 1;
+	}
+done
+/tmp/cebench.check -traffic-tenants 48 -traffic-rate 1 -traffic-horizon 900 -parallel 8 \
+	macro-trace 2>/dev/null > /tmp/cebench.traffic.p8.txt
+/tmp/cebench.check -traffic-tenants 48 -traffic-rate 1 -traffic-horizon 900 -parallel 1 \
+	macro-trace 2>/dev/null > /tmp/cebench.traffic.p1.txt
+cmp /tmp/cebench.traffic.p1.txt /tmp/cebench.traffic.p8.txt || {
+	echo "cebench macro-trace stdout differs between -parallel 1 and -parallel 8"; exit 1;
+}
+printf '12,3,0,7,1,9\n0,8,2,4,6,0\n5,5,5,5,5,5\n' > /tmp/cebench.traffic.trace
+/tmp/cebench.check -traffic-kind trace -trace-file /tmp/cebench.traffic.trace -traffic-tenants 6 \
+	-shards 1 -sim-workers 1 macro-trace 2>/dev/null > /tmp/cebench.replay.s1w1.txt
+/tmp/cebench.check -traffic-kind trace -trace-file /tmp/cebench.traffic.trace -traffic-tenants 6 \
+	-shards 8 -sim-workers 8 macro-trace 2>/dev/null > /tmp/cebench.replay.s8w8.txt
+cmp /tmp/cebench.replay.s1w1.txt /tmp/cebench.replay.s8w8.txt || {
+	echo "cebench macro-trace trace replay differs between shards=1 and shards=8/workers=8"; exit 1;
+}
+
 echo "== trace-check (observability export byte-identical across -parallel)"
 sh scripts/trace_check.sh
 
-echo "== zero-alloc gates (steady-state fit/observe/decision must not touch the heap)"
+echo "== zero-alloc gates (steady-state fit/observe/decision/traffic/invoke must not touch the heap)"
 go test -run 'TestFitterZeroAlloc|TestFixedWindowObserveZeroAlloc|TestDecisionZeroAlloc' \
 	./internal/fit/ ./internal/predictor/ ./internal/scheduler/
+go test -run 'TestHistObserveZeroAlloc|TestCursorNextZeroAlloc|TestInvoke1SteadyStateZeroAlloc|TestInvoke1DenialZeroAlloc' \
+	./internal/obs/ ./internal/traffic/ ./internal/faas/
 
-echo "== benchmark smoke (sim/cost/fit/scheduler at 1x, numeric path at 100x, same as make bench)"
-go test -run '^$' -bench . -benchtime=1x ./internal/sim/ ./internal/cost/ ./internal/fit/ ./internal/scheduler/
+echo "== benchmark smoke (sim/cost/fit/scheduler/traffic at 1x, numeric path at 100x, same as make bench)"
+go test -run '^$' -bench . -benchtime=1x ./internal/sim/ ./internal/cost/ ./internal/fit/ ./internal/scheduler/ ./internal/traffic/
 go test -run '^$' -bench . -benchmem -benchtime=100x ./internal/ml/ ./internal/dataset/
 
 echo "OK"
