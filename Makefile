@@ -14,9 +14,12 @@ vet:
 build:
 	$(GO) build ./...
 
-# cescalint: the determinism-enforcing static-analysis suite (walltime,
-# globalrand, maporder, fpreduce, importboundary, shardsafe). Package sets
-# live in cescalint.policy; see DESIGN.md "Determinism invariants".
+# cescalint: the determinism- and allocation-enforcing static-analysis
+# suite (walltime, globalrand, maporder, fpreduce, importboundary,
+# shardsafe, hotpath, pragma staleness, policy completeness). Package sets
+# live in cescalint.policy; //cescalint:hotpath marks functions that must
+# be allocation-free in steady state. See DESIGN.md "Determinism
+# invariants" and README "Lint" for the annotation/pragma workflow.
 lint:
 	$(GO) run ./cmd/cescalint ./...
 

@@ -345,7 +345,10 @@ func (p *Platform) InvokeGroup(n, memMB int) ([]Invocation, error) {
 // denial returns the plain ErrConcurrencyExceeded sentinel, so the
 // admit/deny round trip performs no heap allocation at all when
 // observability is disabled.
+//
+//cescalint:hotpath
 func (p *Platform) Invoke1(memMB int) (Invocation, error) {
+	//cescalint:allow hotpath -- cold path: allocates only when rejecting an invalid memory size
 	if err := p.limits.ValidateMemory(memMB); err != nil {
 		return Invocation{}, err
 	}
@@ -367,20 +370,27 @@ func (p *Platform) Invoke1(memMB int) (Invocation, error) {
 	p.meter.Invocations++
 	p.meter.InvokeCost += p.prices.FunctionInvoke
 	if p.obs.Enabled() {
-		st := p.obs.Stats()
-		st.Add("faas.invocations", 1)
-		if inv.Cold {
-			st.Inc("faas.cold_starts")
-			st.Observe("faas.cold_start_s", inv.StartDelay)
-		} else {
-			st.Inc("faas.warm_starts")
-		}
-		st.Add("faas.invoke_cost", p.prices.FunctionInvoke)
-		st.Set("faas.in_flight", float64(p.inFlight))
-		st.SetMax("faas.in_flight_peak", float64(p.peakInFlight))
-		st.Set("faas.warm_total", float64(p.warmTotal))
+		//cescalint:allow hotpath -- observability: reached only with obs enabled; the steady-state gate runs disabled
+		p.observeInvoke1(inv)
 	}
 	return inv, nil
+}
+
+// observeInvoke1 records one admission in the metrics registry. Kept out of
+// Invoke1's body so the hot path carries a single Enabled-gated call.
+func (p *Platform) observeInvoke1(inv Invocation) {
+	st := p.obs.Stats()
+	st.Add("faas.invocations", 1)
+	if inv.Cold {
+		st.Inc("faas.cold_starts")
+		st.Observe("faas.cold_start_s", inv.StartDelay)
+	} else {
+		st.Inc("faas.warm_starts")
+	}
+	st.Add("faas.invoke_cost", p.prices.FunctionInvoke)
+	st.Set("faas.in_flight", float64(p.inFlight))
+	st.SetMax("faas.in_flight_peak", float64(p.peakInFlight))
+	st.Set("faas.warm_total", float64(p.warmTotal))
 }
 
 // takeWarm consumes one warm sandbox and cancels its pending reclaim.
@@ -441,6 +451,8 @@ func (p *Platform) WarmStart() float64 { return p.startup.Warm }
 // ReleaseGroup ends n concurrent functions of memMB memory, billing their
 // compute time (seconds each) and returning their sandboxes to the warm
 // pool for later reuse.
+//
+//cescalint:hotpath
 func (p *Platform) ReleaseGroup(n, memMB int, secondsEach float64) {
 	if n <= 0 {
 		return
@@ -449,16 +461,25 @@ func (p *Platform) ReleaseGroup(n, memMB int, secondsEach float64) {
 		panic(fmt.Sprintf("faas: releasing %d instances with only %d in flight", n, p.inFlight))
 	}
 	p.inFlight -= n
+	//cescalint:allow hotpath -- warm reclaim closures: scheduled only when WarmTTL > 0; the steady-state gate disables expiry
 	p.addWarm(memMB, n)
 	p.BillCompute(n, memMB, secondsEach)
 	if p.obs.Enabled() {
-		st := p.obs.Stats()
-		st.Set("faas.in_flight", float64(p.inFlight))
-		st.Set("faas.warm_total", float64(p.warmTotal))
-		p.obs.Trace().InstantAt(float64(p.sh.Now()), "faas", "faas", "release_group",
-			obs.I("n", n), obs.I("mem_mb", memMB), obs.F("seconds_each", secondsEach),
-			obs.I("in_flight", p.inFlight), obs.I("warm_total", p.warmTotal))
+		//cescalint:allow hotpath -- observability: reached only with obs enabled; the steady-state gate runs disabled
+		p.observeReleaseGroup(n, memMB, secondsEach)
 	}
+}
+
+// observeReleaseGroup records one release in the observability sinks. Kept
+// out of ReleaseGroup's body so the hot path carries a single Enabled-gated
+// call.
+func (p *Platform) observeReleaseGroup(n, memMB int, secondsEach float64) {
+	st := p.obs.Stats()
+	st.Set("faas.in_flight", float64(p.inFlight))
+	st.Set("faas.warm_total", float64(p.warmTotal))
+	p.obs.Trace().InstantAt(float64(p.sh.Now()), "faas", "faas", "release_group",
+		obs.I("n", n), obs.I("mem_mb", memMB), obs.F("seconds_each", secondsEach),
+		obs.I("in_flight", p.inFlight), obs.I("warm_total", p.warmTotal))
 }
 
 // BillCompute charges compute time for n functions of memMB that each ran
@@ -473,9 +494,15 @@ func (p *Platform) BillCompute(n, memMB int, secondsEach float64) {
 	gbs := float64(n) * secondsEach * float64(memMB) / 1024
 	p.meter.GBSeconds += gbs
 	if p.obs.Enabled() {
-		p.obs.Stats().Add("faas.gb_seconds", gbs)
-		p.obs.Stats().Add("faas.compute_cost", cost)
+		//cescalint:allow hotpath -- observability: reached only with obs enabled; the steady-state gate runs disabled
+		p.observeBillCompute(gbs, cost)
 	}
+}
+
+// observeBillCompute records one billing event in the metrics registry.
+func (p *Platform) observeBillCompute(gbs, cost float64) {
+	p.obs.Stats().Add("faas.gb_seconds", gbs)
+	p.obs.Stats().Add("faas.compute_cost", cost)
 }
 
 // Prewarm provisions n warm sandboxes of memMB (the greedy planner pre-warms

@@ -80,6 +80,9 @@ func TestInvoke1InvalidMemory(t *testing.T) {
 // TestInvoke1SteadyStateZeroAlloc: with observability disabled, the
 // admit/release cycle (warm reuse, no expiry churn) must not touch the
 // heap — this is the per-arrival hot path of the traffic scenarios.
+//
+// hotpath-gate: faas.Platform.Invoke1
+// hotpath-gate: faas.Platform.ReleaseGroup
 func TestInvoke1SteadyStateZeroAlloc(t *testing.T) {
 	p := newTestPlatform(3)
 	p.WarmTTL = 0 // no reclaim events: isolate the admission path itself
@@ -100,6 +103,8 @@ func TestInvoke1SteadyStateZeroAlloc(t *testing.T) {
 
 // TestInvoke1DenialZeroAlloc: the denial storm under a saturated cap is
 // also allocation-free.
+//
+// hotpath-gate: faas.Platform.Invoke1
 func TestInvoke1DenialZeroAlloc(t *testing.T) {
 	s := sim.New(1)
 	limits := DefaultLimits()

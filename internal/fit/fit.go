@@ -15,17 +15,28 @@ import (
 	"math"
 )
 
-// Model is a parametric curve family for least-squares fitting.
+// Model is a parametric curve family for least-squares fitting. Eval,
+// Jacobian, and Clamp run once per data point per solver iteration inside
+// Fitter.Fit, so they are hotpath-annotated: every implementation must be
+// allocation-free (cescalint enforces this). Guess may allocate — the
+// Fitter prefers the GuessInto seam and only falls back to Guess for
+// models outside the built-in families.
 type Model interface {
 	// NumParams returns the parameter count p.
 	NumParams() int
 	// Eval returns the model value at x under params (length p).
+	//
+	//cescalint:hotpath
 	Eval(params []float64, x float64) float64
 	// Jacobian writes d(Eval)/d(params) at x into out (length p).
+	//
+	//cescalint:hotpath
 	Jacobian(params []float64, x float64, out []float64)
 	// Guess returns a starting point from the data.
 	Guess(xs, ys []float64) []float64
 	// Clamp projects params back into the model's valid region in place.
+	//
+	//cescalint:hotpath
 	Clamp(params []float64)
 }
 

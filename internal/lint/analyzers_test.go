@@ -52,13 +52,42 @@ func render(findings []Finding) string {
 	return b.String()
 }
 
+// goldenFixtures maps each golden name to the lint targets it runs.
+// hotpathfacts is a two-package run: the annotated callers live in outer,
+// the verdicts they depend on are facts exported by inner.
+var goldenFixtures = []struct {
+	name    string
+	targets []string
+}{
+	{"walltime", nil},
+	{"globalrand", nil},
+	{"maporder", nil},
+	{"fpreduce", nil},
+	{"importboundary", nil},
+	{"pragma", nil},
+	{"shardsafe", nil},
+	{"hotpath", nil},
+	{"hotpathreg", nil},
+	{"hotpathfacts", []string{"hotpathfacts/inner", "hotpathfacts/outer"}},
+	{"stalepragma", nil},
+}
+
 // TestAnalyzersGolden proves each analyzer catches its seeded violations —
 // and nothing else — by comparing against a golden transcript.
 func TestAnalyzersGolden(t *testing.T) {
-	for _, name := range []string{"walltime", "globalrand", "maporder", "fpreduce", "importboundary", "pragma", "shardsafe"} {
+	for _, fx := range goldenFixtures {
+		name := fx.name
 		t.Run(name, func(t *testing.T) {
 			r := testRunner(t)
-			findings, err := r.Run([]Target{fixtureTarget(t, name)})
+			names := fx.targets
+			if names == nil {
+				names = []string{name}
+			}
+			var targets []Target
+			for _, n := range names {
+				targets = append(targets, fixtureTarget(t, n))
+			}
+			findings, err := r.Run(targets)
 			if err != nil {
 				t.Fatalf("Run: %v", err)
 			}
@@ -122,5 +151,72 @@ func TestUnknownPragmaAnalyzerIsFinding(t *testing.T) {
 	// calls sit under malformed pragmas and must still be findings.
 	if walltimeLines != 3 {
 		t.Errorf("want 3 unsuppressed walltime findings, got %d", walltimeLines)
+	}
+}
+
+// TestPolicyGapIsFinding pins the completeness satellite: a package in no
+// policy set is itself a finding, attributed to the policy pseudo-analyzer.
+func TestPolicyGapIsFinding(t *testing.T) {
+	root, module, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	// Deliberately cover everything under testdata except policygap.
+	pol, err := ParsePolicy([]byte("deterministic repro/internal/lint/testdata/hotpath"), "test.policy")
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	r := NewRunner(root, module, pol)
+	findings, err := r.Run([]Target{fixtureTarget(t, "policygap")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the policy-gap finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "policy" || !strings.Contains(f.Message, "not covered by cescalint.policy") {
+		t.Errorf("unexpected finding: %v", f)
+	}
+	// The same package under a policy that lists it (unchecked) is silent.
+	pol2, err := ParsePolicy([]byte("unchecked repro/internal/lint/testdata/policygap"), "test.policy")
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	r2 := NewRunner(root, module, pol2)
+	findings, err = r2.Run([]Target{fixtureTarget(t, "policygap")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unchecked package must lint silent, got %v", findings)
+	}
+}
+
+// TestPolicyHotpathEntry proves the policy file can annotate functions
+// without touching their source: a `hotpath` line turns PolicyHot — silent
+// in the golden run — into a finding at its println site.
+func TestPolicyHotpathEntry(t *testing.T) {
+	root, module, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("FindModule: %v", err)
+	}
+	pol, err := ParsePolicy([]byte(testPolicy+"\nhotpath repro/internal/lint/testdata/hotpath.PolicyHot\n"), "test.policy")
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	r := NewRunner(root, module, pol)
+	findings, err := r.Run([]Target{fixtureTarget(t, "hotpath")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	seen := false
+	for _, f := range findings {
+		if f.Analyzer == "hotpath" && strings.Contains(f.Message, "print/println") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("policy hotpath entry did not annotate PolicyHot: no print/println finding")
 	}
 }

@@ -1,0 +1,227 @@
+package lint
+
+// Contract-seam test: the module enforces its zero-allocation promises twice
+// — at runtime with testing.AllocsPerRun gates and statically with
+// //cescalint:hotpath annotations — and the two layers must not drift apart.
+// Every AllocsPerRun call site must sit in a test that declares which
+// hotpath function it guards with a `// hotpath-gate: <pkg>.<Func>` comment,
+// and every declared gate must resolve to a live hotpath annotation. The
+// reverse direction is a report, not an assertion: transitive verification
+// means most annotated functions are covered through their gated callers.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// hotpathGatePrefix marks a test comment naming the hotpath function a
+// testing.AllocsPerRun gate in the same test function guards.
+const hotpathGatePrefix = "hotpath-gate:"
+
+// contractSite is one testing.AllocsPerRun call found in a _test.go file.
+type contractSite struct {
+	pos   token.Position
+	test  string   // enclosing test function
+	gates []string // hotpath-gate names declared in that function
+}
+
+func TestAllocGatesMatchHotpathAnnotations(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, _, err := FindModule(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	var sites []contractSite
+	annotated := map[string]token.Position{}
+
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(path, "_test.go") {
+			sites = append(sites, allocGateSites(fset, file)...)
+		} else {
+			collectHotpathNames(fset, file, annotated)
+		}
+		return nil
+	})
+	if walkErr != nil {
+		t.Fatal(walkErr)
+	}
+
+	if len(sites) == 0 {
+		t.Fatal("no testing.AllocsPerRun call sites found in the module; the runtime allocation gates have disappeared")
+	}
+
+	gated := map[string]token.Position{}
+	for _, s := range sites {
+		if len(s.gates) == 0 {
+			t.Errorf("%s: testing.AllocsPerRun in %s has no %q comment naming the hotpath function it guards",
+				s.pos, s.test, hotpathGatePrefix)
+			continue
+		}
+		for _, g := range s.gates {
+			if _, ok := annotated[g]; !ok {
+				t.Errorf("%s: %s declares %s %s, but no //cescalint:hotpath annotation with that name exists",
+					s.pos, s.test, hotpathGatePrefix, g)
+			}
+			gated[g] = s.pos
+		}
+	}
+
+	// Vice-versa report: annotated roots with no direct runtime gate. Not a
+	// failure — the static check covers callees transitively — but the list
+	// shows where a new AllocsPerRun gate would ground the contract.
+	for name, pos := range annotated {
+		if _, ok := gated[name]; !ok {
+			t.Logf("hotpath-annotated but not AllocsPerRun-gated: %s (%s)", name, pos)
+		}
+	}
+}
+
+// allocGateSites returns every testing.AllocsPerRun call in file, each
+// paired with the hotpath-gate names declared inside its enclosing test.
+func allocGateSites(fset *token.FileSet, file *ast.File) []contractSite {
+	var sites []contractSite
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		var calls []token.Pos
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "AllocsPerRun" {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "testing" {
+					calls = append(calls, call.Pos())
+				}
+			}
+			return true
+		})
+		if len(calls) == 0 {
+			continue
+		}
+		var gates []string
+		groups := []*ast.CommentGroup{fn.Doc}
+		for _, cg := range file.Comments {
+			if cg.End() >= fn.Pos() && cg.Pos() <= fn.End() {
+				groups = append(groups, cg)
+			}
+		}
+		for _, cg := range groups {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if rest, ok := strings.CutPrefix(text, hotpathGatePrefix); ok {
+					if name := strings.TrimSpace(rest); name != "" {
+						gates = append(gates, name)
+					}
+				}
+			}
+		}
+		for _, pos := range calls {
+			sites = append(sites, contractSite{pos: fset.Position(pos), test: fn.Name.Name, gates: gates})
+		}
+	}
+	return sites
+}
+
+// collectHotpathNames records every //cescalint:hotpath annotation in file as
+// "<pkg>.<Func>", "<pkg>.<Type>.<Method>" (value and pointer receivers
+// collapse to the bare type name) or "<pkg>.<Iface>.<Method>".
+func collectHotpathNames(fset *token.FileSet, file *ast.File, out map[string]token.Position) {
+	pkg := file.Name.Name
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !hasHotpathDirective(d.Doc) {
+				continue
+			}
+			name := pkg + "." + d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) == 1 {
+				if recv := receiverTypeName(d.Recv.List[0].Type); recv != "" {
+					name = pkg + "." + recv + "." + d.Name.Name
+				}
+			}
+			out[name] = fset.Position(d.Pos())
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				iface, ok := ts.Type.(*ast.InterfaceType)
+				if !ok || iface.Methods == nil {
+					continue
+				}
+				for _, m := range iface.Methods.List {
+					if len(m.Names) != 1 || !hasHotpathDirective(m.Doc) {
+						continue
+					}
+					out[pkg+"."+ts.Name.Name+"."+m.Names[0].Name] = fset.Position(m.Pos())
+				}
+			}
+		}
+	}
+}
+
+// hasHotpathDirective reports whether the comment group carries a
+// //cescalint:hotpath directive (with or without a trailing `-- note`).
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == "//cescalint:hotpath" || strings.HasPrefix(c.Text, "//cescalint:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverTypeName unwraps a method receiver AST expression to its bare
+// type identifier ("*Fitter" and "Fitter" both yield "Fitter").
+func receiverTypeName(expr ast.Expr) string {
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// fnInfo is the hotpath analyzer's exported fact about one module function:
+// whether its body is allocation-free given its (already-final) callee
+// facts, why not, and which call edges and pragmas its verdict rests on.
+// Facts are keyed by types.Object, which the shared importer keeps
+// pointer-identical across packages.
+type fnInfo struct {
+	obj      *types.Func
+	pos      token.Pos
+	hot      bool // annotated //cescalint:hotpath (comment or policy)
+	implRoot bool // implements a hotpath-annotated interface method
+	clean    bool
+	reason   string         // first allocation reason when !clean
+	calls    []types.Object // statically resolved module callees
+	pragmas  []*pragma      // hotpath allow-pragmas that cleansed sites here
+}
+
+// ifaceFact is one hotpath-annotated interface method. Packages that
+// declare types implementing the interface must keep the implementing
+// method allocation-free; callers through the interface trust it.
+type ifaceFact struct {
+	method *types.Func
+	iface  *types.Interface
+	name   string // "pkg/path.Iface.Method", the sort and message key
+}
+
+// factStore shares hotpath facts across the parallel driver. The scheduler
+// runs a package only after its module imports completed, so reads of an
+// import's facts always see final values; the mutex only orders the raw map
+// access.
+type factStore struct {
+	module string // module path; fact-bearing packages all live under it
+	mu     sync.Mutex
+	fns    map[types.Object]*fnInfo
+	order  []*fnInfo // export order, for map-free iteration
+	byPr   map[*pragma]*fnInfo
+	ifaces []*ifaceFact
+}
+
+func newFactStore(module string) *factStore {
+	return &factStore{
+		module: module,
+		fns:    make(map[types.Object]*fnInfo),
+		byPr:   make(map[*pragma]*fnInfo),
+	}
+}
+
+// exportFns publishes one package's function facts.
+func (s *factStore) exportFns(infos []*fnInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fi := range infos {
+		s.fns[fi.obj] = fi
+		s.order = append(s.order, fi)
+		for _, p := range fi.pragmas {
+			s.byPr[p] = fi
+		}
+	}
+}
+
+// exportIface publishes one hotpath-annotated interface method.
+func (s *factStore) exportIface(f *ifaceFact) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ifaces = append(s.ifaces, f)
+}
+
+// fn returns the fact for one module function, or nil if its package was
+// not analyzed in this run.
+func (s *factStore) fn(obj types.Object) *fnInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fns[obj]
+}
+
+// fnOfPragma returns the function whose cleanliness the hotpath pragma
+// contributed to, or nil if the pragma cleansed nothing.
+func (s *factStore) fnOfPragma(p *pragma) *fnInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byPr[p]
+}
+
+// ifacesVisibleTo returns the annotated interface methods declared in pkg
+// or any module package in its import closure, sorted by name so
+// implementation obligations are checked in a deterministic order at any
+// parallelism. The walk stays strictly inside the module: facts only come
+// from module packages, and reading a standard-library package's import
+// list would race with the shared gc export-data importer, which completes
+// std packages lazily while other workers hold references to them.
+func (s *factStore) ifacesVisibleTo(pkg *types.Package) []*ifaceFact {
+	inModule := func(p *types.Package) bool {
+		return p.Path() == s.module || strings.HasPrefix(p.Path(), s.module+"/")
+	}
+	closure := map[*types.Package]bool{pkg: true}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if !closure[imp] && inModule(imp) {
+				closure[imp] = true
+				walk(imp)
+			}
+		}
+	}
+	walk(pkg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*ifaceFact
+	for _, f := range s.ifaces {
+		if closure[f.method.Pkg()] {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// consumedFunctions walks the call graph from every hotpath root (annotated
+// functions and interface implementations) through clean module callees and
+// returns the set of functions whose cleanliness those roots consumed. A
+// hotpath pragma inside a clean-but-unconsumed function cleansed an
+// allocation nobody relies on and is reported stale.
+func (s *factStore) consumedFunctions() map[types.Object]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	consumed := make(map[types.Object]bool)
+	var queue []*fnInfo
+	for _, fi := range s.order {
+		if fi.hot || fi.implRoot {
+			queue = append(queue, fi)
+		}
+	}
+	for len(queue) > 0 {
+		fi := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, callee := range fi.calls {
+			cf := s.fns[callee]
+			if cf == nil || !cf.clean || consumed[cf.obj] {
+				continue
+			}
+			consumed[cf.obj] = true
+			queue = append(queue, cf)
+		}
+	}
+	return consumed
+}

@@ -1,0 +1,791 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Hotpath statically verifies that designated functions are allocation-free
+// in steady state.
+//
+// The fleet-scale numbers all rest on zero-allocation hot paths: the
+// Algorithm-2 decision, the DES schedule/batch kernel, faas.Invoke1, the
+// traffic cursors and the ml epoch loop. Runtime AllocsPerRun gates catch a
+// regression only on the inputs a benchmark happens to exercise; this
+// analyzer makes the contract structural. A function annotated
+// //cescalint:hotpath (on its declaration, on an interface method, or
+// listed as `hotpath <pkg>.<Func>` in cescalint.policy) is walked for
+// allocation sites — make/new, slice and map literals, &composite
+// literals, address-of-local escapes, growing appends, capturing closures,
+// bound method values, value-to-interface boxing, variadic argument
+// slices, string concatenation and conversion, go/defer statements, map
+// iteration, and calls the analyzer cannot prove allocation-free — and the
+// verdict propagates through the call graph: a hotpath function may only
+// call functions that are themselves hotpath-clean. Cross-package
+// propagation uses the driver's fact store, keyed by types.Object.
+//
+// A dynamic call is trusted only through an interface method that is
+// itself annotated; every type implementing such an interface must keep
+// its implementing method clean, which the analyzer enforces in the
+// package declaring the type. Individual sites with a proven-benign
+// allocation (amortized high-water appends, Enabled-gated tracing, cold
+// validation paths) are cleansed by a reasoned pragma on the site:
+//
+//	//cescalint:allow hotpath -- amortized: refills the free list once per arena
+var Hotpath = &Analyzer{
+	Name:  "hotpath",
+	Doc:   "verify annotated functions are allocation-free, propagating through the call graph",
+	Scope: ScopeAll,
+	Run:   runHotpath,
+}
+
+// dirtSite is one potential allocation inside a function body.
+type dirtSite struct {
+	pos token.Pos
+	msg string
+}
+
+// callEdge is one statically resolved call to a module function.
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// fnScan is the per-function working state before fixpoint.
+type fnScan struct {
+	fi    *fnInfo
+	dirt  []dirtSite
+	edges []callEdge
+}
+
+// funcKey renders a *types.Func as "<pkg-path>.<Func>" or
+// "<pkg-path>.<Type>.<Method>", the form cescalint.policy and findings use.
+func funcKey(f *types.Func) string {
+	key := ""
+	if f.Pkg() != nil {
+		key = f.Pkg().Path() + "."
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			key += n.Obj().Name() + "."
+		}
+	}
+	return key + f.Name()
+}
+
+func runHotpath(p *Pass) {
+	h := &hotpathPass{
+		Pass:    p,
+		trusted: make(map[*types.Func]bool),
+		hot:     make(map[*types.Func]bool),
+		byObj:   make(map[types.Object]*fnScan),
+	}
+	h.collectAnnotations()
+	h.scanPackage()
+	h.fixpoint()
+	h.checkImplementations()
+	h.report()
+	h.export()
+}
+
+type hotpathPass struct {
+	*Pass
+	trusted     map[*types.Func]bool // annotated interface methods, local + imported
+	hot         map[*types.Func]bool // annotated concrete functions
+	localIfaces []*ifaceFact
+	scans       []*fnScan
+	byObj       map[types.Object]*fnScan
+}
+
+// collectAnnotations resolves //cescalint:hotpath directives (function doc
+// comments and interface-method docs) plus policy `hotpath` entries, and
+// marks each matched directive used so unattached ones surface as stale.
+func (h *hotpathPass) collectAnnotations() {
+	for _, f := range h.facts.ifacesVisibleTo(h.Pkg) {
+		h.trusted[f.method] = true
+	}
+	markDoc := func(doc ...*ast.CommentGroup) bool {
+		found := false
+		for _, cg := range doc {
+			if cg == nil {
+				continue
+			}
+			for _, d := range h.hotDirs {
+				if d.pos >= cg.Pos() && d.pos <= cg.End() {
+					d.used = true
+					found = true
+				}
+			}
+		}
+		return found
+	}
+	for _, file := range h.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := h.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			if markDoc(fd.Doc) || h.Policy.IsHotpathFunc(funcKey(obj)) {
+				h.hot[obj] = true
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok || it.Methods == nil {
+				return true
+			}
+			for _, field := range it.Methods.List {
+				if len(field.Names) == 0 {
+					continue // embedded interface
+				}
+				if !markDoc(field.Doc, field.Comment) {
+					continue
+				}
+				m, _ := h.Info.Defs[field.Names[0]].(*types.Func)
+				if m == nil {
+					continue
+				}
+				h.trusted[m] = true
+				h.localIfaces = append(h.localIfaces, &ifaceFact{
+					method: m,
+					iface:  m.Type().(*types.Signature).Recv().Type().Underlying().(*types.Interface),
+					name:   ifaceMethodName(m),
+				})
+			}
+			return true
+		})
+	}
+}
+
+// ifaceMethodName renders an interface method as "<pkg>.<Iface>.<Method>"
+// ("error.Error" for the universe-scope error interface).
+func ifaceMethodName(m *types.Func) string {
+	recv := m.Type().(*types.Signature).Recv().Type()
+	if n, ok := recv.(*types.Named); ok {
+		if n.Obj().Pkg() == nil {
+			return n.Obj().Name() + "." + m.Name()
+		}
+		return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + m.Name()
+	}
+	return funcKey(m)
+}
+
+// scanPackage builds the dirt and call-edge summary for every function
+// declaration in the package, in file order.
+func (h *hotpathPass) scanPackage() {
+	for _, file := range h.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := h.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			sc := &fnScan{fi: &fnInfo{obj: obj, pos: fd.Name.Pos(), hot: h.hot[obj]}}
+			if fd.Body == nil {
+				sc.dirt = append(sc.dirt, dirtSite{fd.Name.Pos(), fmt.Sprintf("hotpath function %s has no body to verify", funcKey(obj))})
+			} else {
+				h.scanBody(sc, fd, fd.Body, obj.Type().(*types.Signature))
+			}
+			h.scans = append(h.scans, sc)
+			h.byObj[obj] = sc
+		}
+	}
+}
+
+// addDirt records one allocation site unless a hotpath pragma on the site
+// cleanses it; cleansing pragmas are remembered on the function so the
+// end-of-run audit can tell load-bearing pragmas from stale ones.
+func (h *hotpathPass) addDirt(sc *fnScan, pos token.Pos, format string, args ...any) {
+	if pr := h.allowPragmaAt(pos, "hotpath"); pr != nil {
+		sc.fi.pragmas = append(sc.fi.pragmas, pr)
+		return
+	}
+	sc.dirt = append(sc.dirt, dirtSite{pos, fmt.Sprintf(format, args...)})
+}
+
+// scanBody walks one function (or function-literal) body collecting dirt
+// sites and call edges. sig is the body's own signature, used for return
+// boxing; nested literals recurse with theirs.
+func (h *hotpathPass) scanBody(sc *fnScan, decl *ast.FuncDecl, body *ast.BlockStmt, sig *types.Signature) {
+	// Expressions appearing as a call's function are calls, not bound
+	// method values; collect them (over nested literals too) up front.
+	calledFuns := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			calledFuns[astUnparen(call.Fun)] = true
+		}
+		return true
+	})
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinNamed(h.Info, x.Fun, "panic") {
+				return false // a panic path never returns; its arguments are not steady state
+			}
+			h.scanCall(sc, x)
+		case *ast.FuncLit:
+			if name := capturedVar(h.Info, decl, x); name != "" {
+				h.addDirt(sc, x.Pos(), "func literal captures %s and allocates a closure", name)
+			}
+			if litSig, ok := h.Info.Types[x].Type.(*types.Signature); ok {
+				h.scanNested(sc, decl, x.Body, litSig)
+			}
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := h.Info.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					h.addDirt(sc, x.Pos(), "slice literal allocates")
+				case *types.Map:
+					h.addDirt(sc, x.Pos(), "map literal allocates")
+				default:
+					h.checkCompositeBoxing(sc, x, tv.Type)
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				break
+			}
+			switch op := astUnparen(x.X).(type) {
+			case *ast.CompositeLit:
+				if tv, ok := h.Info.Types[op]; ok && tv.Type != nil {
+					switch tv.Type.Underlying().(type) {
+					case *types.Slice, *types.Map:
+						// the literal itself reports
+					default:
+						h.addDirt(sc, x.Pos(), "&composite literal allocates")
+					}
+				}
+			case *ast.Ident:
+				if v, ok := h.Info.Uses[op].(*types.Var); ok && !v.IsField() && declaredWithin(v, decl) {
+					h.addDirt(sc, x.Pos(), "taking the address of %s may move it to the heap", op.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD {
+				if tv, ok := h.Info.Types[x]; ok && tv.Value == nil && isStringType(tv.Type) {
+					h.addDirt(sc, x.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 {
+				if tv, ok := h.Info.Types[x.Lhs[0]]; ok && isStringType(tv.Type) {
+					h.addDirt(sc, x.Pos(), "string concatenation allocates")
+				}
+			}
+			if x.Tok == token.ASSIGN && len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					if tv, ok := h.Info.Types[lhs]; ok && tv.Type != nil {
+						h.checkBoxing(sc, tv.Type, x.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil {
+				if tv, ok := h.Info.Types[x.Type]; ok && tv.Type != nil {
+					for _, v := range x.Values {
+						h.checkBoxing(sc, tv.Type, v)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig.Results() != nil && len(x.Results) == sig.Results().Len() {
+				for i, res := range x.Results {
+					h.checkBoxing(sc, sig.Results().At(i).Type(), res)
+				}
+			}
+		case *ast.RangeStmt:
+			if isMapType(h.Info, x.X) {
+				h.addDirt(sc, x.Pos(), "map iteration is order-nondeterministic; iterate a sorted slice instead")
+			}
+		case *ast.GoStmt:
+			h.addDirt(sc, x.Pos(), "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			h.addDirt(sc, x.Pos(), "defer may allocate in a hot loop")
+		case *ast.SelectorExpr:
+			if sel, ok := h.Info.Selections[x]; ok && sel.Kind() == types.MethodVal && !calledFuns[x] {
+				h.addDirt(sc, x.Pos(), "bound method value allocates a closure")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// scanNested re-walks a function literal's body under the literal's own
+// signature (so return-boxing checks use the right result types) while
+// charging dirt to the enclosing declaration.
+func (h *hotpathPass) scanNested(sc *fnScan, decl *ast.FuncDecl, body *ast.BlockStmt, sig *types.Signature) {
+	h.scanBody(sc, decl, body, sig)
+}
+
+// scanCall classifies one call: conversion, builtin, static module call
+// (edge), trusted or untrusted dynamic call, or external function.
+func (h *hotpathPass) scanCall(sc *fnScan, call *ast.CallExpr) {
+	fun := astUnparen(call.Fun)
+
+	// Type conversions.
+	if tv, ok := h.Info.Types[fun]; ok && tv.IsType() {
+		h.checkConversion(sc, call, tv.Type)
+		return
+	}
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := h.Info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				h.addDirt(sc, call.Pos(), "make allocates")
+			case "new":
+				h.addDirt(sc, call.Pos(), "new allocates")
+			case "append":
+				h.addDirt(sc, call.Pos(), "append may grow its backing array and allocate")
+			case "print", "println":
+				h.addDirt(sc, call.Pos(), "print/println is not allocation-free")
+			}
+			return
+		}
+	}
+
+	dirtBefore := len(sc.dirt)
+
+	// Dynamic interface calls: trusted only through an annotated method.
+	if selExpr, ok := fun.(*ast.SelectorExpr); ok {
+		if sel, ok := h.Info.Selections[selExpr]; ok && sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+			m := sel.Obj().(*types.Func)
+			if o := m.Origin(); o != nil {
+				m = o
+			}
+			if !h.trusted[m] {
+				h.addDirt(sc, call.Pos(), "dynamic call through %s; annotate the interface method //cescalint:hotpath or pragma this call", ifaceMethodName(m))
+			}
+			h.checkCallArgs(sc, call, dirtBefore)
+			return
+		}
+	}
+
+	if callee := staticCallee(h.Info, fun); callee != nil {
+		switch {
+		case callee.Pkg() == nil:
+			// universe scope (unsafe, error): nothing to do
+		case callee.Pkg() == h.Pkg || h.inModule(callee.Pkg().Path()):
+			if pr := h.allowPragmaAt(call.Pos(), "hotpath"); pr != nil {
+				sc.fi.pragmas = append(sc.fi.pragmas, pr)
+			} else {
+				sc.edges = append(sc.edges, callEdge{call.Pos(), callee})
+			}
+		case !allowedExternal(callee):
+			h.addDirt(sc, call.Pos(), "calls %s, which cescalint cannot prove allocation-free", funcKey(callee))
+		}
+	} else {
+		h.addDirt(sc, call.Pos(), "call through a function value cannot be proven allocation-free")
+	}
+	h.checkCallArgs(sc, call, dirtBefore)
+}
+
+// checkCallArgs flags variadic argument slices and value-to-interface
+// boxing at a call site — but only when the call itself was not already
+// reported, so one bad call yields one finding, not three.
+func (h *hotpathPass) checkCallArgs(sc *fnScan, call *ast.CallExpr, dirtBefore int) {
+	if len(sc.dirt) > dirtBefore {
+		return
+	}
+	tv, ok := h.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) > params.Len()-1 {
+		h.addDirt(sc, call.Pos(), "variadic call allocates its argument slice")
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos && params.Len() > 0:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case sig.Variadic() && params.Len() > 0:
+			pt = params.At(params.Len() - 1).Type()
+		}
+		if pt != nil {
+			h.checkBoxing(sc, pt, arg)
+		}
+	}
+}
+
+// checkConversion flags allocating conversions: to/from string (except
+// string-to-string) and value-to-interface boxing. Constant-folded
+// conversions are free.
+func (h *hotpathPass) checkConversion(sc *fnScan, call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if tv, ok := h.Info.Types[call]; ok && tv.Value != nil {
+		return // constant conversion, folded at compile time
+	}
+	if _, ok := dst.Underlying().(*types.Interface); ok {
+		h.checkBoxing(sc, dst, call.Args[0])
+		return
+	}
+	srcTV, ok := h.Info.Types[call.Args[0]]
+	if !ok || srcTV.Type == nil {
+		return
+	}
+	src := srcTV.Type
+	dstStr, srcStr := isStringType(dst), isStringType(src)
+	switch {
+	case dstStr && srcStr:
+	case dstStr:
+		h.addDirt(sc, call.Pos(), "conversion from %s to string allocates", h.typeStr(src))
+	case srcStr && isByteOrRuneSlice(dst):
+		h.addDirt(sc, call.Pos(), "conversion from string to %s allocates", h.typeStr(dst))
+	}
+}
+
+// checkBoxing flags storing a concrete, non-pointer-shaped value into an
+// interface: the conversion copies the value to the heap.
+func (h *hotpathPass) checkBoxing(sc *fnScan, dst types.Type, src ast.Expr) {
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := h.Info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	if types.IsInterface(tv.Type) || pointerShaped(tv.Type) {
+		return
+	}
+	h.addDirt(sc, src.Pos(), "converting %s to interface %s allocates (boxing)", h.typeStr(tv.Type), h.typeStr(dst))
+}
+
+// checkCompositeBoxing flags interface-typed elements and fields inside a
+// stack-allocated (struct or array) composite literal.
+func (h *hotpathPass) checkCompositeBoxing(sc *fnScan, lit *ast.CompositeLit, t types.Type) {
+	switch u := t.Underlying().(type) {
+	case *types.Array:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			h.checkBoxing(sc, u.Elem(), el)
+		}
+	case *types.Struct:
+		for i, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					for j := 0; j < u.NumFields(); j++ {
+						if u.Field(j).Name() == id.Name {
+							h.checkBoxing(sc, u.Field(j).Type(), kv.Value)
+							break
+						}
+					}
+				}
+			} else if i < u.NumFields() {
+				h.checkBoxing(sc, u.Field(i).Type(), el)
+			}
+		}
+	}
+}
+
+// fixpoint propagates dirtiness through same-package call edges until
+// stable. Imported callees already have final facts (the driver runs
+// packages in dependency order); a module callee with no fact at all —
+// only possible when linting a package subset — is treated as dirty.
+func (h *hotpathPass) fixpoint() {
+	for _, sc := range h.scans {
+		sc.fi.clean = len(sc.dirt) == 0
+		if len(sc.dirt) > 0 {
+			sc.fi.reason = h.dirtReason(sc.dirt[0])
+		}
+		for _, e := range sc.edges {
+			sc.fi.calls = append(sc.fi.calls, e.callee)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range h.scans {
+			if !sc.fi.clean {
+				continue
+			}
+			for _, e := range sc.edges {
+				if ok, reason := h.edgeClean(e); !ok {
+					sc.fi.clean = false
+					sc.fi.reason = fmt.Sprintf("calls %s, which is not allocation-free: %s", funcKey(e.callee), truncateReason(reason))
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// edgeClean resolves one call edge against local scans or the fact store.
+func (h *hotpathPass) edgeClean(e callEdge) (bool, string) {
+	if sc, ok := h.byObj[e.callee]; ok {
+		return sc.fi.clean, sc.fi.reason
+	}
+	if fi := h.facts.fn(e.callee); fi != nil {
+		return fi.clean, fi.reason
+	}
+	return false, "package not analyzed in this run"
+}
+
+// dirtReason renders a dirt site as an exported fact reason with a short
+// position so cross-package findings point at the original allocation.
+func (h *hotpathPass) dirtReason(d dirtSite) string {
+	pos := h.Fset.Position(d.pos)
+	return fmt.Sprintf("%s at %s:%d", d.msg, filepath.Base(pos.Filename), pos.Line)
+}
+
+// truncateReason keeps chained cross-function reasons readable.
+func truncateReason(s string) string {
+	const max = 160
+	if len(s) <= max {
+		return s
+	}
+	return s[:max-3] + "..."
+}
+
+// checkImplementations enforces the interface side of the trust bargain:
+// for every hotpath-annotated interface method visible to this package,
+// every named type declared here that implements the interface must keep
+// the implementing method allocation-free.
+func (h *hotpathPass) checkImplementations() {
+	ifaces := append(append([]*ifaceFact(nil), h.facts.ifacesVisibleTo(h.Pkg)...), h.localIfaces...)
+	sort.Slice(ifaces, func(i, j int) bool { return ifaces[i].name < ifaces[j].name })
+	scope := h.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || types.IsInterface(named) {
+			continue
+		}
+		for _, ifc := range ifaces {
+			if !types.Implements(named, ifc.iface) && !types.Implements(types.NewPointer(named), ifc.iface) {
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, ifc.method.Pkg(), ifc.method.Name())
+			m, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			if o := m.Origin(); o != nil {
+				m = o
+			}
+			if recv := m.Type().(*types.Signature).Recv(); recv == nil || types.IsInterface(recv.Type()) {
+				continue // promoted from an embedded interface; no concrete body here
+			}
+			if sc, local := h.byObj[m]; local {
+				sc.fi.implRoot = true
+				if !sc.fi.clean && !sc.fi.hot {
+					h.Reportf(sc.fi.pos, "%s implements hotpath-annotated %s and must be allocation-free: %s",
+						funcKey(m), ifc.name, truncateReason(sc.fi.reason))
+				}
+			} else if fi := h.facts.fn(m); fi != nil && !fi.clean {
+				h.Reportf(tn.Pos(), "%s (embedded in %s) implements hotpath-annotated %s and must be allocation-free: %s",
+					funcKey(m), name, ifc.name, truncateReason(fi.reason))
+			}
+		}
+	}
+}
+
+// report emits site-level findings inside annotated functions: every
+// surviving dirt site, and every call to a function that is not
+// allocation-free, carrying the callee's own first reason.
+func (h *hotpathPass) report() {
+	for _, sc := range h.scans {
+		if !sc.fi.hot {
+			continue
+		}
+		for _, d := range sc.dirt {
+			h.Reportf(d.pos, "%s", d.msg)
+		}
+		for _, e := range sc.edges {
+			if ok, reason := h.edgeClean(e); !ok {
+				h.Reportf(e.pos, "calls %s, which is not allocation-free: %s", funcKey(e.callee), truncateReason(reason))
+			}
+		}
+	}
+}
+
+// export publishes this package's facts for dependent packages and the
+// end-of-run stale-pragma audit.
+func (h *hotpathPass) export() {
+	infos := make([]*fnInfo, 0, len(h.scans))
+	for _, sc := range h.scans {
+		infos = append(infos, sc.fi)
+	}
+	h.facts.exportFns(infos)
+	for _, f := range h.localIfaces {
+		h.facts.exportIface(f)
+	}
+}
+
+// inModule reports whether path names a package of the module under
+// analysis, whose facts the fact store carries.
+func (h *hotpathPass) inModule(path string) bool {
+	return path == h.module || strings.HasPrefix(path, h.module+"/")
+}
+
+// typeStr renders a type relative to the package under analysis.
+func (h *hotpathPass) typeStr(t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(h.Pkg))
+}
+
+// astUnparen strips parentheses.
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// isBuiltinNamed reports whether e resolves to the named builtin.
+func isBuiltinNamed(info *types.Info, e ast.Expr, name string) bool {
+	id, ok := astUnparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// staticCallee resolves a call's target to a declared function or method,
+// or nil for calls through function values.
+func staticCallee(info *types.Info, fun ast.Expr) *types.Func {
+	switch x := astUnparen(fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[x].(*types.Func); ok {
+			if o := f.Origin(); o != nil {
+				return o
+			}
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if o := f.Origin(); o != nil {
+					return o
+				}
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[x.Sel].(*types.Func); ok {
+			return f // qualified pkg.Func
+		}
+	}
+	return nil
+}
+
+// allowedExternal is the closed allowlist of non-module functions known to
+// be allocation-free: pure math, binary search, and scheduler reads.
+// Everything else outside the module is conservatively dirty.
+func allowedExternal(f *types.Func) bool {
+	pkg := f.Pkg()
+	if pkg == nil {
+		return true
+	}
+	switch pkg.Path() {
+	case "math", "math/bits":
+		return true
+	case "sort":
+		switch f.Name() {
+		case "Search", "SearchFloat64s", "SearchInts", "SearchStrings":
+			return true
+		}
+	case "runtime":
+		switch f.Name() {
+		case "GOMAXPROCS", "NumCPU":
+			return true
+		}
+	}
+	return false
+}
+
+// capturedVar returns the name of the first variable a function literal
+// captures from its enclosing declaration, or "" for capture-free literals
+// (which compile to static function values and do not allocate).
+func capturedVar(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if declaredWithin(v, decl) && !declaredWithin(v, lit) {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// pointerShaped reports whether converting t to an interface stores the
+// value directly in the interface word, with no heap copy.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 0
+	case *types.Array:
+		return u.Len() == 0
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

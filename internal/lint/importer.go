@@ -10,19 +10,38 @@ import (
 	"go/types"
 	"path/filepath"
 	"strings"
+	"sync"
 )
+
+// loadedPkg is one module package parsed and type-checked exactly once per
+// run. Analyzers and the importer share the same *types.Package and
+// *types.Info, so a types.Object seen while analyzing package A is
+// pointer-identical to the one seen while analyzing any package that
+// imports A — the property the hotpath fact store is keyed on.
+type loadedPkg struct {
+	dir   string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	err   error
+	ready chan struct{} // closed when the fields above are final
+}
 
 // moduleImporter resolves imports for type-checking without any network or
 // third-party machinery: standard-library packages come from the compiler's
 // export data (go/importer, "gc"), and packages inside this module are
-// parsed and type-checked from source, recursively, with results cached for
-// the whole run.
+// parsed and type-checked from source, recursively, with results cached and
+// shared across the whole run. All methods are safe for concurrent use by
+// the parallel driver; concurrent loads of the same path block on one
+// in-flight load rather than duplicating it.
 type moduleImporter struct {
 	root   string // module root directory
 	module string // module path ("repro")
 	fset   *token.FileSet
 	std    types.Importer
-	pkgs   map[string]*types.Package
+	stdMu  sync.Mutex // the gc export-data importer is not concurrency-safe
+	mu     sync.Mutex // guards pkgs
+	pkgs   map[string]*loadedPkg
 }
 
 func newModuleImporter(root, module string, fset *token.FileSet) *moduleImporter {
@@ -31,7 +50,7 @@ func newModuleImporter(root, module string, fset *token.FileSet) *moduleImporter
 		module: module,
 		fset:   fset,
 		std:    importer.ForCompiler(fset, "gc", nil),
-		pkgs:   make(map[string]*types.Package),
+		pkgs:   make(map[string]*loadedPkg),
 	}
 }
 
@@ -39,32 +58,68 @@ func (m *moduleImporter) inModule(path string) bool {
 	return path == m.module || strings.HasPrefix(path, m.module+"/")
 }
 
+// dirFor maps a module import path to its directory under the module root.
+func (m *moduleImporter) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, m.module), "/")
+	return filepath.Join(m.root, filepath.FromSlash(rel))
+}
+
 func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	if path == "unsafe" {
 		return types.Unsafe, nil
 	}
 	if !m.inModule(path) {
+		m.stdMu.Lock()
+		defer m.stdMu.Unlock()
 		return m.std.Import(path)
 	}
-	if pkg, ok := m.pkgs[path]; ok {
-		return pkg, nil
-	}
-	dir := filepath.Join(m.root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, m.module), "/")))
-	files, err := m.parseDir(dir)
+	lp, err := m.load(path)
 	if err != nil {
-		return nil, fmt.Errorf("import %q: %w", path, err)
+		return nil, err
+	}
+	return lp.pkg, nil
+}
+
+// load parses and type-checks the module package at path, memoized for the
+// run. The driver analyzes packages in dependency order, so by the time a
+// worker loads its target every module dependency is already cached; lazy
+// recursive loads only happen for packages outside the target set (single
+// fixture runs).
+func (m *moduleImporter) load(path string) (*loadedPkg, error) {
+	m.mu.Lock()
+	if lp, ok := m.pkgs[path]; ok {
+		m.mu.Unlock()
+		<-lp.ready
+		return lp, lp.err
+	}
+	lp := &loadedPkg{dir: m.dirFor(path), ready: make(chan struct{})}
+	m.pkgs[path] = lp
+	m.mu.Unlock()
+	defer close(lp.ready)
+
+	lp.files, lp.err = m.parseDir(lp.dir)
+	if lp.err != nil {
+		lp.err = fmt.Errorf("load %q: %w", path, lp.err)
+		return lp, lp.err
+	}
+	lp.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
 	}
 	conf := types.Config{Importer: m}
-	pkg, err := conf.Check(path, m.fset, files, nil)
-	if err != nil {
-		return nil, fmt.Errorf("import %q: %w", path, err)
+	lp.pkg, lp.err = conf.Check(path, m.fset, lp.files, lp.info)
+	if lp.err != nil {
+		lp.err = fmt.Errorf("typecheck %s: %w", path, lp.err)
 	}
-	m.pkgs[path] = pkg
-	return pkg, nil
+	return lp, lp.err
 }
 
 // parseDir parses the non-test Go files of one package directory, honouring
-// build constraints via go/build.
+// build constraints via go/build. The shared FileSet is safe for concurrent
+// AddFile, so parallel workers may parse distinct directories at once.
 func (m *moduleImporter) parseDir(dir string) ([]*ast.File, error) {
 	bp, err := build.ImportDir(dir, 0)
 	if err != nil {

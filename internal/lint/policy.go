@@ -15,22 +15,33 @@ import (
 //	deterministic    repro/internal/sim
 //	deterministic    repro/internal/platform/simbackend
 //	output           repro/internal/experiments
+//	unchecked        repro/internal/lambda
 //	forbid           repro/internal/lambda
 //	forbid           net
 //	shard-restricted repro/internal/sim
 //	shard-exempt     repro/internal/sim/parallel.go
+//	hotpath          repro/internal/fit.Fitter.Fit
 //
 // Patterns are exact import paths, or a prefix ending in /... which matches
 // the path itself and everything below it. "forbid net" bans both "net" and
 // every "net/..." subpackage. shard-exempt names one file (as
 // "<package-path>/<file>.go") that may use concurrency inside a
 // shard-restricted package; exemptions are exact, never patterns.
+//
+// Every package in the module must appear in exactly one of the
+// deterministic, output, or unchecked sets; a package in none of them is a
+// policy-completeness finding, so a newly added package cannot silently
+// bypass the suite. "hotpath" marks one function (as "<pkg-path>.<Func>" or
+// "<pkg-path>.<Type>.<Method>") allocation-free in steady state, equivalent
+// to a //cescalint:hotpath comment on its declaration.
 type Policy struct {
 	deterministic   []string
 	output          []string
+	unchecked       []string
 	forbidden       []string
 	shardRestricted []string
 	shardExempt     []string
+	hotpath         []string
 }
 
 // IsDeterministic reports whether pkg is in the deterministic set: packages
@@ -42,6 +53,29 @@ func (p *Policy) IsDeterministic(pkg string) bool { return matchAny(p.determinis
 // os.Stderr, fmt.Print*). Only the experiment renderers and commands
 // qualify; everything else returns values and lets callers print.
 func (p *Policy) IsOutput(pkg string) bool { return matchAny(p.output, pkg) }
+
+// IsUnchecked reports whether pkg is deliberately outside the lint surface
+// (live substrate, tooling). Unchecked packages still type-check and export
+// allocation facts, but no determinism analyzer runs on them.
+func (p *Policy) IsUnchecked(pkg string) bool { return matchAny(p.unchecked, pkg) }
+
+// Covers reports whether pkg appears in any policy set. The driver turns an
+// uncovered package into a finding so the policy stays complete as the
+// module grows.
+func (p *Policy) Covers(pkg string) bool {
+	return p.IsDeterministic(pkg) || p.IsOutput(pkg) || p.IsUnchecked(pkg)
+}
+
+// IsHotpathFunc reports whether the function key ("<pkg-path>.<Func>" or
+// "<pkg-path>.<Type>.<Method>") is declared hotpath by the policy file.
+func (p *Policy) IsHotpathFunc(key string) bool {
+	for _, h := range p.hotpath {
+		if h == key {
+			return true
+		}
+	}
+	return false
+}
 
 // ForbiddenImport reports whether importPath may not be imported from a
 // deterministic package. "forbid net" covers "net" and all "net/..."
@@ -103,6 +137,10 @@ func ParsePolicy(data []byte, name string) (*Policy, error) {
 			p.deterministic = append(p.deterministic, fields[1])
 		case "output":
 			p.output = append(p.output, fields[1])
+		case "unchecked":
+			p.unchecked = append(p.unchecked, fields[1])
+		case "hotpath":
+			p.hotpath = append(p.hotpath, fields[1])
 		case "forbid":
 			p.forbidden = append(p.forbidden, fields[1])
 		case "shard-restricted":
@@ -110,7 +148,7 @@ func ParsePolicy(data []byte, name string) (*Policy, error) {
 		case "shard-exempt":
 			p.shardExempt = append(p.shardExempt, fields[1])
 		default:
-			return nil, fmt.Errorf("%s:%d: unknown keyword %q (want deterministic, output, forbid, shard-restricted, or shard-exempt)", name, i+1, fields[0])
+			return nil, fmt.Errorf("%s:%d: unknown keyword %q (want deterministic, output, unchecked, hotpath, forbid, shard-restricted, or shard-exempt)", name, i+1, fields[0])
 		}
 	}
 	return p, nil

@@ -1,0 +1,201 @@
+// Package hotpath seeds one allocation construct per annotated function,
+// plus clean paths that must stay silent: the golden transcript pins both
+// what the analyzer catches and what it trusts.
+package hotpath
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Clean is annotated and allocation-free: arithmetic, binary search, and a
+// call into an unannotated helper whose cleanliness propagates.
+//
+//cescalint:hotpath
+func Clean(xs []float64, x float64) float64 {
+	i := sort.SearchFloat64s(xs, x)
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return scale(xs[i], 2)
+}
+
+// scale is not annotated; Clean's verdict depends on it staying clean.
+func scale(v, k float64) float64 { return v * k }
+
+//cescalint:hotpath
+func MakeNew(n int) []float64 {
+	buf := make([]float64, n)
+	p := new(float64)
+	buf[0] = *p
+	return buf
+}
+
+//cescalint:hotpath
+func Literals(n int) int {
+	xs := []int{1, 2, n}
+	m := map[string]int{"a": 1}
+	return xs[0] + m["a"]
+}
+
+type point struct{ x, y float64 }
+
+//cescalint:hotpath
+func AmpLiteral(a, b float64) *point {
+	return &point{a, b}
+}
+
+//cescalint:hotpath
+func AddressOfLocal(v float64) float64 {
+	p := &v
+	return *p
+}
+
+//cescalint:hotpath
+func Append(dst []float64, v float64) []float64 {
+	return append(dst, v)
+}
+
+//cescalint:hotpath
+func Capture(n int) int {
+	total := 0
+	add := func(k int) { total += k }
+	add(n)
+	return total
+}
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+//cescalint:hotpath
+func MethodValue(c *counter) func() {
+	return c.inc
+}
+
+//cescalint:hotpath
+func Boxing(v float64) any {
+	return v
+}
+
+// Variadic is itself clean; callers pay for the argument slice.
+//
+//cescalint:hotpath
+func Variadic(vs ...float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	return vs[0]
+}
+
+//cescalint:hotpath
+func CallsVariadic(a, b float64) float64 {
+	return Variadic(a, b)
+}
+
+//cescalint:hotpath
+func Concat(a, b string) string {
+	return a + b
+}
+
+//cescalint:hotpath
+func ToString(bs []byte) string {
+	return string(bs)
+}
+
+//cescalint:hotpath
+func FromString(s string) []byte {
+	return []byte(s)
+}
+
+//cescalint:hotpath
+func Format(v float64) string {
+	return fmt.Sprintf("%v", v)
+}
+
+//cescalint:hotpath
+func MapRange(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+//cescalint:hotpath
+func Spawn(ch chan int) {
+	go send(ch)
+}
+
+func send(ch chan int) { ch <- 1 }
+
+//cescalint:hotpath
+func Deferred(c *counter) {
+	defer c.inc()
+	c.n++
+}
+
+// dirty is unannotated; its verdict reaches annotated callers as a reason.
+func dirty(n int) []int { return make([]int, n) }
+
+//cescalint:hotpath
+func CallsDirty(n int) int {
+	return len(dirty(n))
+}
+
+// refill carries the sanctioned amortized-growth idiom: the allocation is
+// real but cleansed by a reasoned pragma, and annotated callers stay clean.
+func refill(buf []int) []int {
+	if cap(buf) == len(buf) {
+		//cescalint:allow hotpath -- amortized: doubles the high-water buffer once per growth
+		return append(buf, 0)
+	}
+	return buf[:len(buf)+1]
+}
+
+//cescalint:hotpath
+func UsesRefill(buf []int) []int {
+	return refill(buf)
+}
+
+// Stepper's Step is annotated on the interface: dynamic calls through it
+// are trusted, and every implementing type owes a clean Step.
+type Stepper interface {
+	// Step folds one sample into the cursor.
+	//
+	//cescalint:hotpath
+	Step(v float64) float64
+}
+
+type cleanStepper struct{ acc float64 }
+
+func (s *cleanStepper) Step(v float64) float64 { s.acc += v; return s.acc }
+
+type dirtyStepper struct{ log []float64 }
+
+func (s *dirtyStepper) Step(v float64) float64 {
+	s.log = append(s.log, v)
+	return v
+}
+
+//cescalint:hotpath
+func Drive(s Stepper, v float64) float64 {
+	return s.Step(v)
+}
+
+// Untrusted has no hotpath annotation, so calling through it is opaque.
+type Untrusted interface {
+	Get() float64
+}
+
+//cescalint:hotpath
+func DynamicCall(u Untrusted) float64 {
+	return u.Get()
+}
+
+// PolicyHot is annotated only by a `hotpath` policy entry in
+// TestPolicyHotpathEntry; the golden run must stay silent about it.
+func PolicyHot(n int) int {
+	println(n)
+	return n
+}

@@ -1,0 +1,10 @@
+// Package inner exports one clean and one dirty helper; the annotated
+// callers live in package outer, so the verdicts must travel across the
+// package boundary as facts.
+package inner
+
+// Scale is allocation-free.
+func Scale(v, k float64) float64 { return v * k }
+
+// Grow allocates.
+func Grow(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,16 @@
+// Package outer holds the annotated callers of package inner: the clean
+// cross-package call must stay silent, the dirty one must report with
+// inner's own allocation site as the reason.
+package outer
+
+import "repro/internal/lint/testdata/hotpathfacts/inner"
+
+//cescalint:hotpath
+func UsesClean(v float64) float64 {
+	return inner.Scale(v, 2)
+}
+
+//cescalint:hotpath
+func UsesDirty(n int) int {
+	return len(inner.Grow(n))
+}

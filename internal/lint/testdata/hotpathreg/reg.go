@@ -1,0 +1,29 @@
+// Package hotpathreg is the seeded-regression fixture the tentpole
+// demands: an innocuous-looking closure capture inside an annotated
+// function. The helper closure reads naturally — and allocates on every
+// call, because it captures the receiver.
+package hotpathreg
+
+// Window is a rolling sum with a fixed-capacity buffer.
+type Window struct {
+	buf []float64
+	pos int
+	sum float64
+}
+
+// Observe folds one sample into the window; it sits on the per-event path
+// and must never touch the heap.
+//
+//cescalint:hotpath
+func (w *Window) Observe(v float64) float64 {
+	shift := func(x float64) {
+		w.sum += x - w.buf[w.pos]
+		w.buf[w.pos] = x
+	}
+	shift(v)
+	w.pos++
+	if w.pos == len(w.buf) {
+		w.pos = 0
+	}
+	return w.sum
+}

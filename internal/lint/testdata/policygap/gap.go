@@ -1,0 +1,6 @@
+// Package policygap exists in no cescalint.policy set; the driver must
+// turn the omission itself into a finding.
+package policygap
+
+// Two returns two.
+func Two() int { return 2 }

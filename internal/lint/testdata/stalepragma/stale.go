@@ -1,0 +1,32 @@
+// Package stalepragma seeds suppressions that rot: well-formed pragmas
+// that no longer suppress anything, and a hotpath directive attached to
+// nothing. Each is a finding, so the allowed surface cannot silently grow.
+package stalepragma
+
+import "time"
+
+// Fresh is covered: the pragma suppresses a real walltime finding and
+// stays silent.
+func Fresh() time.Time {
+	//cescalint:allow walltime -- fixture: proves a live pragma stays silent
+	return time.Now()
+}
+
+// Stale suppresses nothing: the wall-clock read it once guarded is gone.
+func Stale(d time.Duration) time.Duration {
+	//cescalint:allow walltime -- fixture: the guarded call was deleted
+	return 2 * d
+}
+
+// orphan cleanses an allocation no hot path consumes; the pragma is dead
+// weight and must surface.
+func orphan(n int) []int {
+	//cescalint:allow hotpath -- fixture: nobody hot calls this
+	return make([]int, n)
+}
+
+// floating carries a hotpath directive that attaches to no declaration.
+func floating() int {
+	//cescalint:hotpath
+	return 0
+}

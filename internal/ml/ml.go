@@ -33,9 +33,16 @@ type Objective interface {
 	Name() string
 	// Gradient adds the average gradient over the rows idx of m, evaluated
 	// at weights w, into grad (which the caller has zeroed or is
-	// accumulating into deliberately).
+	// accumulating into deliberately). It runs once per worker per BSP
+	// iteration — the innermost loop of every simulated training trial —
+	// so every implementation must be allocation-free.
+	//
+	//cescalint:hotpath
 	Gradient(w []float64, m *dataset.Matrix, idx []int, grad []float64)
-	// Loss returns the average loss over all rows of m at weights w.
+	// Loss returns the average loss over all rows of m at weights w. It
+	// closes every epoch, so implementations share Gradient's obligation.
+	//
+	//cescalint:hotpath
 	Loss(w []float64, m *dataset.Matrix) float64
 }
 
@@ -266,6 +273,7 @@ func NewWorker(shard *dataset.Matrix, rng *sim.Rand) *Worker {
 func (w *Worker) reshuffle() {
 	n := w.Shard.Rows
 	if cap(w.perm) < n {
+		//cescalint:allow hotpath -- amortized: the permutation buffer is sized once per shard; steady-state epochs reuse it
 		w.perm = make([]int, n)
 	}
 	p := w.perm[:n]
@@ -418,23 +426,32 @@ func (t *Trainer) WorkerGradients() [][]float64 {
 		batch = t.workers[0].Shard.Rows
 	}
 	if len(t.workers) > 1 && runtime.GOMAXPROCS(0) > 1 && batch*t.data.Cols >= parallelGradFloor {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for i, w := range t.workers {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, w *Worker) {
-				defer wg.Done()
-				w.GradientInto(t.cfg.Objective, t.weights, t.cfg.BatchPerWkr, t.grads[i])
-				<-sem
-			}(i, w)
-		}
-		wg.Wait()
-		return t.grads
+		//cescalint:allow hotpath -- large-batch fan-out: steady-state batches sit below parallelGradFloor and take the inline loop
+		return t.parallelGradients()
 	}
 	for i, w := range t.workers {
 		w.GradientInto(t.cfg.Objective, t.weights, t.cfg.BatchPerWkr, t.grads[i])
 	}
+	return t.grads
+}
+
+// parallelGradients fans the per-worker gradient computation out across OS
+// threads. Per-worker RNG streams make the result independent of execution
+// order, so it is bit-identical to the inline loop; it allocates (WaitGroup
+// closures, semaphore channel) and is only taken above parallelGradFloor.
+func (t *Trainer) parallelGradients() [][]float64 {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, w := range t.workers {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			w.GradientInto(t.cfg.Objective, t.weights, t.cfg.BatchPerWkr, t.grads[i])
+			<-sem
+		}(i, w)
+	}
+	wg.Wait()
 	return t.grads
 }
 
@@ -459,7 +476,12 @@ func (t *Trainer) RunIteration() {
 }
 
 // RunEpoch performs one epoch of BSP iterations and returns the full-data
-// training loss at the end of the epoch.
+// training loss at the end of the epoch. This is the engine's steady-state
+// entry point — one call per simulated epoch across every trial — and the
+// whole iteration chain beneath it (WorkerGradients, GradientInto, batch
+// cursoring, aggregation, the epoch-end Loss) is verified allocation-free.
+//
+//cescalint:hotpath
 func (t *Trainer) RunEpoch() float64 {
 	k := t.IterationsPerEpoch()
 	for i := 0; i < k; i++ {

@@ -94,6 +94,8 @@ func TestArgConstructors(t *testing.T) {
 // zero-alloc guarantee (the other half is the RunEpoch benchmark in
 // internal/ml staying at 0 allocs/op). The idiom under test is the one
 // instrumented hot paths use: guard arg construction behind Enabled().
+//
+// hotpath-gate: obs.Observer.Enabled
 func TestDisabledPathAllocatesNothing(t *testing.T) {
 	var o *Observer
 	allocs := testing.AllocsPerRun(100, func() {

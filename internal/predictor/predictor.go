@@ -192,6 +192,7 @@ func (o *Online) SetWarmStart(on bool) {
 
 func (o *Online) ensureFitter() {
 	if o.fitter == nil {
+		//cescalint:allow hotpath -- one-time lazy init: the solver is built on the first refit and reused forever
 		f, err := fit.NewFitter(fit.InverseLinear{})
 		if err != nil {
 			panic(err) // unreachable: InverseLinear has exactly 3 params
@@ -201,6 +202,8 @@ func (o *Online) ensureFitter() {
 }
 
 // Observe records the loss after epoch (1-based).
+//
+//cescalint:hotpath
 func (o *Online) Observe(epoch int, loss float64) {
 	if o.fixedCap > 0 && len(o.xs) == o.fixedCap {
 		copy(o.xs, o.xs[1:])
@@ -208,7 +211,9 @@ func (o *Online) Observe(epoch int, loss float64) {
 		o.xs[o.fixedCap-1] = float64(epoch)
 		o.ys[o.fixedCap-1] = loss
 	} else {
+		//cescalint:allow hotpath -- unbounded-history mode; the fleet tuning caps the window and takes the in-place branch
 		o.xs = append(o.xs, float64(epoch))
+		//cescalint:allow hotpath -- unbounded-history mode; the fleet tuning caps the window and takes the in-place branch
 		o.ys = append(o.ys, loss)
 	}
 	o.dirty = true
@@ -264,6 +269,8 @@ func (o *Online) Curve() ([]float64, bool) {
 
 // PredictTotalEpochs estimates the total number of epochs (from the start of
 // training) needed to reach target. ok=false before enough observations.
+// Together with Observe it forms the per-epoch observe+refit+predict cycle,
+// annotated allocation-free under the fleet tuning.
 //
 // When the freely fitted floor c sits at or above the target — common early
 // in training, when few points barely constrain the curve's tail — the
@@ -271,6 +278,8 @@ func (o *Online) Curve() ([]float64, bool) {
 // the predictor falls back to a reachability prior: fix c just below the
 // target and fit only (a, b), which is a linear least-squares problem in
 // z = 1/(loss - c).
+//
+//cescalint:hotpath
 func (o *Online) PredictTotalEpochs(target float64) (int, bool) {
 	params, ok := o.Curve()
 	if !ok {
@@ -314,6 +323,10 @@ func (o *Online) descending() bool {
 	return avgDelta < -0.005*math.Abs(o.ys[n-1])
 }
 
+// pinnedFloors is the grid of plausible floor fractions constrainedSolve
+// sweeps; a package-level array so the sweep builds no per-call slice.
+var pinnedFloors = [...]float64{0.2, 0.4, 0.6, 0.8, 0.9}
+
 // constrainedSolve fits l(e) = 1/(a e + b) + c with c pinned below the
 // target — for a grid of plausible floors, keeping the best-SSE fit — and
 // returns the e at which that curve reaches the target.
@@ -321,7 +334,7 @@ func (o *Online) constrainedSolve(target float64) (float64, bool) {
 	bestSSE := math.Inf(1)
 	var bestE float64
 	found := false
-	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 0.9} {
+	for _, frac := range pinnedFloors {
 		e, sse, ok := o.pinnedFit(target, target*frac)
 		if ok && sse < bestSSE {
 			bestSSE, bestE, found = sse, e, true
@@ -367,7 +380,8 @@ func (o *Online) pinnedFit(target, c float64) (e, sse float64, ok bool) {
 		r := pred - o.ys[i]
 		sse += r * r
 	}
-	e, solved := fit.SolveForX([]float64{a, b, c}, target)
+	params := [3]float64{a, b, c}
+	e, solved := fit.SolveForX(params[:], target)
 	return e, sse, solved
 }
 

@@ -349,75 +349,87 @@ func (s *Scheduler) worthSwitching(next cost.Allocation, remaining int, elapsed,
 	return r*nxt.Cost < 0.9*r*cur.Cost
 }
 
-// Controller returns the trainer hook implementing Algorithm 2 lines 8-15.
+// Controller returns the trainer hook implementing Algorithm 2 lines 8-15:
+// the decide method as a bound value. The binding allocates once per job at
+// wiring time; the per-epoch decide calls it funnels are allocation-free in
+// steady state (cescalint-verified, gated by TestSteadyStateZeroAlloc).
 func (s *Scheduler) Controller() trainer.Controller {
-	return func(epoch int, loss float64, elapsed, spent float64) trainer.Decision {
-		s.online.Observe(epoch, loss)
-		s.spent = spent
+	return s.decide
+}
 
-		planningBefore := s.PlanningSeconds
-		dec := trainer.Decision{}
+// decide is the per-epoch Algorithm 2 body (lines 8-15): observe the loss,
+// refit, and re-select the allocation when the prediction drifts past δ.
+//
+//cescalint:hotpath
+func (s *Scheduler) decide(epoch int, loss float64, elapsed, spent float64) trainer.Decision {
+	s.online.Observe(epoch, loss)
+	s.spent = spent
 
-		if s.cfg.Budget > 0 && spent >= s.cfg.Budget {
-			dec.Stop = true
-			s.logDecision(elapsed, epoch, loss, 0, 0, "stop-budget", dec)
-			return dec
-		}
+	planningBefore := s.PlanningSeconds
+	dec := trainer.Decision{}
 
-		// path names the Alg. 2 branch this epoch took, for the decision log:
-		// no-prediction (line 8's fit not ready), within-delta (line 9 false),
-		// then for adjustments which selector produced the candidate —
-		// select (line 10), relax (the 1.15-stretched retry), or
-		// escalate-panic (constraint unmeetable under every candidate).
-		path := "no-prediction"
-		var drift float64
-		predicted, ok := s.online.PredictTotalEpochs(s.cfg.TargetLoss)
-		if ok {
-			path = "within-delta"
-			drift = math.Abs(float64(predicted-s.lastPrediction)) / math.Max(float64(s.lastPrediction), 1)
-			if drift > s.cfg.Delta || s.panicked {
-				s.lastPrediction = predicted
-				remaining := predicted - epoch
-				if remaining < 1 {
-					remaining = 1
-				}
-				path = "select"
-				next, found := s.selectBest(remaining, elapsed, spent)
-				if !found {
-					// Mild stretch before panicking: a noisy prediction
-					// that barely misses the constraint should not flap
-					// the job to an extreme allocation.
-					path = "relax"
-					next, found = s.selectBestRelaxed(remaining, elapsed, spent, 1.15)
-				}
-				if found {
-					s.panicked = false
-				} else if len(s.cfg.Candidates) > 0 {
-					// The constraint can no longer be met under any
-					// allocation. Escalate one step along the frontier —
-					// faster under a deadline, cheaper under a budget —
-					// rather than flapping straight to the extreme: the
-					// panicked flag re-evaluates every epoch, so genuine
-					// pressure keeps escalating while a one-epoch fit
-					// wobble costs only one step.
-					path = "escalate-panic"
-					next = s.escalate()
-					found = true
-					s.panicked = true
-				}
-				if found && next != s.alloc && s.worthSwitching(next, remaining, elapsed, spent) {
-					s.alloc = next
-					s.Restarts++
-					s.Adjustments++
-					dec.NewAlloc = &next
-					dec.Delayed = s.cfg.DelayedRestart
-				}
-			}
-		}
-		dec.PlanningSeconds = s.PlanningSeconds - planningBefore
-		s.logDecision(elapsed, epoch, loss, predicted, drift, path, dec)
+	if s.cfg.Budget > 0 && spent >= s.cfg.Budget {
+		dec.Stop = true
+		//cescalint:allow hotpath -- observability: logDecision self-gates on Obs.Enabled; the steady-state gate runs disabled
+		s.logDecision(elapsed, epoch, loss, 0, 0, "stop-budget", dec)
 		return dec
 	}
+
+	// path names the Alg. 2 branch this epoch took, for the decision log:
+	// no-prediction (line 8's fit not ready), within-delta (line 9 false),
+	// then for adjustments which selector produced the candidate —
+	// select (line 10), relax (the 1.15-stretched retry), or
+	// escalate-panic (constraint unmeetable under every candidate).
+	path := "no-prediction"
+	var drift float64
+	predicted, ok := s.online.PredictTotalEpochs(s.cfg.TargetLoss)
+	if ok {
+		path = "within-delta"
+		drift = math.Abs(float64(predicted-s.lastPrediction)) / math.Max(float64(s.lastPrediction), 1)
+		if drift > s.cfg.Delta || s.panicked {
+			s.lastPrediction = predicted
+			remaining := predicted - epoch
+			if remaining < 1 {
+				remaining = 1
+			}
+			path = "select"
+			next, found := s.selectBest(remaining, elapsed, spent)
+			if !found {
+				// Mild stretch before panicking: a noisy prediction
+				// that barely misses the constraint should not flap
+				// the job to an extreme allocation.
+				path = "relax"
+				next, found = s.selectBestRelaxed(remaining, elapsed, spent, 1.15)
+			}
+			if found {
+				s.panicked = false
+			} else if len(s.cfg.Candidates) > 0 {
+				// The constraint can no longer be met under any
+				// allocation. Escalate one step along the frontier —
+				// faster under a deadline, cheaper under a budget —
+				// rather than flapping straight to the extreme: the
+				// panicked flag re-evaluates every epoch, so genuine
+				// pressure keeps escalating while a one-epoch fit
+				// wobble costs only one step.
+				path = "escalate-panic"
+				next = s.escalate()
+				found = true
+				s.panicked = true
+			}
+			if found && next != s.alloc && s.worthSwitching(next, remaining, elapsed, spent) {
+				s.alloc = next
+				s.Restarts++
+				s.Adjustments++
+				//cescalint:allow hotpath -- next escapes only on an adjustment epoch (restart); within-delta epochs never reach this
+				dec.NewAlloc = &next
+				dec.Delayed = s.cfg.DelayedRestart
+			}
+		}
+	}
+	dec.PlanningSeconds = s.PlanningSeconds - planningBefore
+	//cescalint:allow hotpath -- observability: logDecision self-gates on Obs.Enabled; the steady-state gate runs disabled
+	s.logDecision(elapsed, epoch, loss, predicted, drift, path, dec)
+	return dec
 }
 
 // logDecision records one per-epoch decision-log instant: the Alg. 2 inputs

@@ -80,6 +80,12 @@ type Parser struct {
 	buf     []byte
 	counts  []uint32
 	offsets []int32
+
+	// Scan state, kept on the Parser (not in closures) so the byte loop's
+	// helpers are plain method calls and the whole parse stays off the heap.
+	cur     uint64 // value of the number being scanned
+	inNum   bool   // digits pending in cur
+	rowOpen bool   // current line has produced at least one count
 }
 
 // NewParser returns a parser with a default 64 KiB read buffer.
@@ -87,32 +93,41 @@ func NewParser() *Parser {
 	return &Parser{buf: make([]byte, 64<<10)}
 }
 
+// flushNum closes the number being scanned, if any, appending it to the
+// current row.
+func (p *Parser) flushNum() {
+	if p.inNum {
+		//cescalint:allow hotpath -- amortized: counts grows to the trace high-water mark, then is reused
+		p.counts = append(p.counts, uint32(p.cur))
+		p.cur, p.inNum, p.rowOpen = 0, false, true
+	}
+}
+
+// endRow closes the current row, if it produced any counts.
+func (p *Parser) endRow() {
+	if p.rowOpen {
+		//cescalint:allow hotpath -- amortized: offsets grows to the trace row count, then is reused
+		p.offsets = append(p.offsets, int32(len(p.counts)))
+		p.rowOpen = false
+	}
+}
+
 // Parse reads an entire trace from r. See the Parser doc for the format
 // and the aliasing caveat.
+//
+//cescalint:hotpath
 func (p *Parser) Parse(r io.Reader) (Trace, error) {
 	p.counts = p.counts[:0]
+	//cescalint:allow hotpath -- amortized: offsets grows to the trace row count, then is reused
 	p.offsets = append(p.offsets[:0], 0)
+	p.cur, p.inNum, p.rowOpen = 0, false, false
 	var (
-		cur       uint64 // value of the number being scanned
-		inNum     bool   // digits pending in cur
-		rowOpen   bool   // current line has produced at least one count
 		inComment bool   // discarding until end of line
 		atStart   = true // at the first byte of a line ('#' legal here)
 		line      = 1
 	)
-	flushNum := func() {
-		if inNum {
-			p.counts = append(p.counts, uint32(cur))
-			cur, inNum, rowOpen = 0, false, true
-		}
-	}
-	endRow := func() {
-		if rowOpen {
-			p.offsets = append(p.offsets, int32(len(p.counts)))
-			rowOpen = false
-		}
-	}
 	for {
+		//cescalint:allow hotpath -- caller-supplied io.Reader; the steady-state gate reuses a bytes.Reader
 		n, err := r.Read(p.buf)
 		for _, b := range p.buf[:n] {
 			if inComment {
@@ -124,17 +139,18 @@ func (p *Parser) Parse(r io.Reader) (Trace, error) {
 			}
 			switch {
 			case b >= '0' && b <= '9':
-				cur = cur*10 + uint64(b-'0')
-				if cur > math.MaxUint32 {
+				p.cur = p.cur*10 + uint64(b-'0')
+				if p.cur > math.MaxUint32 {
+					//cescalint:allow hotpath -- cold path: malformed-input error
 					return Trace{}, fmt.Errorf("traffic: line %d: count overflows uint32", line)
 				}
-				inNum, atStart = true, false
+				p.inNum, atStart = true, false
 			case b == ',' || b == ' ' || b == '\t':
-				flushNum()
+				p.flushNum()
 				atStart = false
 			case b == '\n':
-				flushNum()
-				endRow()
+				p.flushNum()
+				p.endRow()
 				atStart = true
 				line++
 			case b == '\r':
@@ -142,6 +158,7 @@ func (p *Parser) Parse(r io.Reader) (Trace, error) {
 			case b == '#' && atStart:
 				inComment = true
 			default:
+				//cescalint:allow hotpath -- cold path: malformed-input error
 				return Trace{}, fmt.Errorf("traffic: line %d: unexpected byte %q", line, b)
 			}
 		}
@@ -149,11 +166,12 @@ func (p *Parser) Parse(r io.Reader) (Trace, error) {
 			break
 		}
 		if err != nil {
+			//cescalint:allow hotpath -- cold path: reader failure error
 			return Trace{}, fmt.Errorf("traffic: read: %w", err)
 		}
 	}
-	flushNum()
-	endRow()
+	p.flushNum()
+	p.endRow()
 	return Trace{counts: p.counts, offsets: p.offsets}, nil
 }
 

@@ -26,6 +26,11 @@ import (
 // past its horizon or, for trace replay, past the end of the trace row.
 // After the first false, every subsequent call returns false.
 type Cursor interface {
+	// Next runs once per arrival — tens of millions of times per scenario —
+	// so every implementation must be allocation-free (cescalint enforces
+	// this via the hotpath annotation).
+	//
+	//cescalint:hotpath
 	Next() (t float64, ok bool)
 }
 

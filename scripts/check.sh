@@ -21,7 +21,7 @@ go vet ./...
 echo "== go build"
 go build ./...
 
-echo "== cescalint (determinism lint, fails fast before tests)"
+echo "== cescalint (determinism + hotpath allocation lint, fails fast before tests)"
 go run ./cmd/cescalint ./...
 
 echo "== go test (shuffled, catches test-order dependence)"
