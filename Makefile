@@ -38,13 +38,13 @@ trace-check:
 
 # shard-check: the sharded-kernel determinism gate. Runs the kernel's
 # cross-shard workload matrix plus the macro-day (event-path), macro-fleet
-# (control-path) and macro-trace (open-loop traffic) scenarios across shard
-# and worker counts, requiring event-for-event equivalence with the
-# single-queue reference and byte-identical tables, traces and metrics
-# everywhere.
+# (control-path), macro-trace (open-loop traffic) and macro-chaos
+# (fault-injection) scenarios across shard and worker counts, requiring
+# event-for-event equivalence with the single-queue reference and
+# byte-identical tables, traces and metrics everywhere.
 shard-check:
 	$(GO) test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
-	$(GO) test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix|TestMacroTraceShardMatrix|TestMacroTraceKindsShardStable' ./internal/experiments/
+	$(GO) test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix|TestMacroTraceShardMatrix|TestMacroTraceKindsShardStable|TestMacroChaosShardMatrix' ./internal/experiments/
 
 # Smoke-run the numeric-path benchmarks (ml kernels, dataset caches, DES
 # kernel, decision path) at a fixed small iteration count: fast enough for

@@ -59,6 +59,8 @@ func run() int {
 	simWorkers := flag.Int("sim-workers", 0, "concurrent shards per conservative window (0 = scenario default)")
 	macroTenants := flag.Int("macro-tenants", 0, "macro-day tenant count (0 = default 32)")
 	macroPerTenant := flag.Int("macro-per-tenant", 0, "macro-day invocations per tenant (0 = default 1500)")
+	chaosTenants := flag.Int("chaos-tenants", 0, "macro-chaos tenant count (0 = default 24)")
+	chaosPerTenant := flag.Int("chaos-per-tenant", 0, "macro-chaos invocations per tenant (0 = default 1000)")
 	fleetTenants := flag.Int("fleet-tenants", 0, "macro-fleet concurrent controller count (0 = default 48)")
 	// Traffic-engine knobs (macro-trace): arrival process, population and
 	// horizon; -trace-file installs an Azure-style per-minute-count file for
@@ -130,6 +132,7 @@ func run() int {
 	experiments.SetParallelism(*parallel)
 	experiments.SetMacroSharding(*shards, *simWorkers)
 	experiments.SetMacroScale(*macroTenants, *macroPerTenant)
+	experiments.SetChaosScale(*chaosTenants, *chaosPerTenant)
 	experiments.SetFleetScale(*fleetTenants)
 	experiments.SetTrafficScale(*trafficTenants, *trafficRate, *trafficHorizon)
 	if err := experiments.SetTrafficKind(*trafficKind); err != nil {

@@ -7,9 +7,10 @@ package repro_test
 // training matrix (fig13), the validation allocation sweep (fig19x), the
 // flattened ablation combos (abl-faults), the (n, model) table blocks
 // (tab2), the truth-run fan-out (fig4), the planning-only loop (fig21a)
-// and the sharded-kernel macro scenarios (macro-day, macro-trace), which
-// exercise the multi-shard event merge underneath the engine-level
-// parallelism.
+// and the sharded-kernel macro scenarios (macro-day, macro-trace,
+// macro-chaos), which exercise the multi-shard event merge — and, for
+// macro-chaos, the compiled fault-injection path — underneath the
+// engine-level parallelism.
 
 import (
 	"testing"
@@ -17,7 +18,7 @@ import (
 	"repro/internal/experiments"
 )
 
-var determinismIDs = []string{"fig4", "fig9", "fig13", "fig19x", "fig21a", "abl-faults", "tab2", "macro-day", "macro-trace"}
+var determinismIDs = []string{"fig4", "fig9", "fig13", "fig19x", "fig21a", "abl-faults", "tab2", "macro-day", "macro-trace", "macro-chaos"}
 
 func renderAll(t *testing.T, ids []string, seed uint64) string {
 	t.Helper()

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
 		"fig21a", "fig21b", "fig21c", "tab1", "tab2", "tab4", "fig2", "fig19x",
 		"abl-gap", "abl-workflow", "abl-asp", "abl-hyperband", "abl-pocket", "abl-faults", "abl-bohb", "abl-cluster",
-		"macro-day", "macro-fleet", "macro-trace",
+		"macro-day", "macro-fleet", "macro-trace", "macro-chaos", "fault-restart",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -104,6 +104,10 @@ func (m *Meter) Total() float64 { return m.InvokeCost + m.ComputeCost }
 type expiryQueue struct {
 	evs  []sim.Event
 	head int
+	// lastAt is the fire time of the most recently scheduled reclaim. New
+	// reclaims are clamped to fire no earlier (see addWarm), which is what
+	// upholds the schedule-order invariant when WarmTTL changes mid-run.
+	lastAt sim.Time
 }
 
 func (q *expiryQueue) len() int {
@@ -128,13 +132,14 @@ func (q *expiryQueue) popHead() sim.Event {
 	return ev
 }
 
-// remove drops a fired reclaim event from the queue. The head is the common
-// case; if WarmTTL was lowered mid-run a later-scheduled reclaim can fire
-// before earlier ones, so fall back to a scan rather than blindly popping —
-// popping the wrong entry would leave this fired (and soon recycled) event
-// in the queue for takeWarm to Cancel later. (Since the kernel's generation
-// counters made stale Cancel a no-op that mistake would no longer corrupt
-// an unrelated event, but it would still leak a dead queue entry.)
+// remove drops a fired reclaim event from the queue. Reclaims fire in
+// schedule order (addWarm clamps new deadlines behind pending ones, so even
+// a mid-run WarmTTL change cannot reorder them) and the head is the common
+// case; the scan fallback stays as defense in depth — popping the wrong
+// entry would leave this fired (and soon recycled) event in the queue for
+// takeWarm to Cancel later. (Since the kernel's generation counters made
+// stale Cancel a no-op that mistake would no longer corrupt an unrelated
+// event, but it would still leak a dead queue entry.)
 func (q *expiryQueue) remove(ev sim.Event) {
 	if q == nil {
 		return
@@ -211,6 +216,9 @@ type Platform struct {
 	expiry map[int]*expiryQueue
 	meter  Meter
 	obs    *obs.Observer
+	// coldSpike multiplies cold-start draws while a fault schedule's
+	// cold-spike window is active (see SetColdSpikeFactor); 0 means unset.
+	coldSpike float64
 }
 
 // DefaultWarmTTL is the idle lifetime of a warm sandbox (10 minutes,
@@ -414,9 +422,18 @@ func (p *Platform) addWarm(memMB, n int) {
 		q = &expiryQueue{}
 		p.expiry[memMB] = q
 	}
+	// Clamp the fire time so reclaims always fire in schedule (FIFO) order
+	// even if WarmTTL was lowered mid-run: a sandbox provisioned later never
+	// expires before one provisioned earlier. With a constant TTL the clamp
+	// never binds (now is monotone), so steady-state behavior is unchanged.
+	at := p.sh.Now() + sim.Time(p.WarmTTL)
+	if at < q.lastAt {
+		at = q.lastAt
+	}
+	q.lastAt = at
 	for i := 0; i < n; i++ {
 		var ev sim.Event
-		ev = p.sh.ScheduleAfter(p.WarmTTL, func() {
+		ev = p.sh.Schedule(at, func() {
 			if p.warm[memMB] > 0 {
 				p.warm[memMB]--
 				p.warmTotal--
@@ -435,6 +452,9 @@ func (p *Platform) coldStart(memMB int, rng *sim.Rand) float64 {
 	d := p.startup.ColdBase + p.startup.ColdPerGB*float64(memMB)/1024
 	if p.startup.JitterFrac > 0 {
 		d *= rng.Jitter(p.startup.JitterFrac)
+	}
+	if p.coldSpike > 1 {
+		d *= p.coldSpike
 	}
 	return d
 }

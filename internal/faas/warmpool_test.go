@@ -108,39 +108,75 @@ func TestWarmPoolChurnKeepsBookkeepingConsistent(t *testing.T) {
 	}
 }
 
-// TestWarmExpiryOutOfOrderTTL covers the queue's scan fallback: lowering
-// WarmTTL mid-run makes a later-scheduled reclaim fire before earlier ones,
-// so fired events are not the queue head. The wrong-pop bug this guards
-// against is subtle — blindly popping the head would leave the fired
-// (recycled) event in the queue for a later takeWarm to Cancel, corrupting
-// an unrelated simulation event.
-func TestWarmExpiryOutOfOrderTTL(t *testing.T) {
+// TestWarmExpiryLoweredTTLClampsToScheduleOrder: lowering WarmTTL mid-run
+// must not let a later-provisioned sandbox expire before earlier ones. The
+// expiry queue's head-pop fast path and takeWarm's cancel-the-earliest both
+// assume reclaims fire in schedule (FIFO) order — before the fix a lowered
+// TTL scheduled new reclaims ahead of pending ones, violating that order:
+// the new sandboxes died first, takeWarm cancelled the wrong (out-of-order)
+// reclaims, and removal degraded to the O(n) scan fallback. The fix clamps
+// a new reclaim to fire no earlier than the queue's latest pending
+// deadline, so the pool drains oldest-first at every TTL setting.
+func TestWarmExpiryLoweredTTLClampsToScheduleOrder(t *testing.T) {
 	s := sim.New(1)
 	p := NewDefault(s)
 
-	if err := p.Prewarm(2, 1769); err != nil { // reclaims at t=600
+	if err := p.Prewarm(2, 1769); err != nil { // reclaims scheduled for t=600
 		t.Fatal(err)
 	}
 	p.WarmTTL = 10
-	if err := p.Prewarm(2, 1769); err != nil { // reclaims at t=10, fire first
+	if err := p.Prewarm(2, 1769); err != nil { // t=10 nominal, clamped to 600
 		t.Fatal(err)
 	}
+	// Nothing may expire before the earlier sandboxes' deadline: the
+	// later-provisioned pair is clamped behind them, not reclaimed first.
 	s.RunUntil(20)
-	if p.WarmCount(1769) != 2 || p.PendingExpiries(1769) != 2 {
-		t.Fatalf("after short-TTL fire: warm=%d pending=%d", p.WarmCount(1769), p.PendingExpiries(1769))
+	if p.WarmCount(1769) != 4 || p.PendingExpiries(1769) != 4 {
+		t.Fatalf("lowered TTL fired ahead of pending reclaims: warm=%d pending=%d, want 4/4",
+			p.WarmCount(1769), p.PendingExpiries(1769))
 	}
-	// The two survivors must be the long-TTL reclaims: consuming one must
-	// cancel a pending (not recycled) event and the other must still fire
-	// at t=600.
+	// Consuming one sandbox still cancels the earliest pending reclaim.
 	if _, err := p.InvokeGroup(1, 1769); err != nil {
 		t.Fatal(err)
 	}
-	if p.WarmCount(1769) != 1 || p.PendingExpiries(1769) != 1 {
+	if p.WarmCount(1769) != 3 || p.PendingExpiries(1769) != 3 {
 		t.Fatalf("after takeWarm: warm=%d pending=%d", p.WarmCount(1769), p.PendingExpiries(1769))
 	}
 	s.RunUntil(601)
 	if p.WarmCount(1769) != 0 || p.PendingExpiries(1769) != 0 {
-		t.Fatalf("after long-TTL fire: warm=%d pending=%d", p.WarmCount(1769), p.PendingExpiries(1769))
+		t.Fatalf("after clamped fire: warm=%d pending=%d", p.WarmCount(1769), p.PendingExpiries(1769))
+	}
+
+	// Once the old deadlines have passed, the lowered TTL applies cleanly.
+	if err := p.Prewarm(1, 1769); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(612)
+	if p.WarmCount(1769) != 0 {
+		t.Fatalf("post-drain sandbox ignored the lowered TTL: warm=%d", p.WarmCount(1769))
+	}
+}
+
+// TestWarmExpiryRaisedTTLKeepsOrder: raising the TTL naturally schedules
+// later than every pending reclaim; the clamp must not disturb that.
+func TestWarmExpiryRaisedTTLKeepsOrder(t *testing.T) {
+	s := sim.New(1)
+	p := NewDefault(s)
+	p.WarmTTL = 10
+	if err := p.Prewarm(1, 1769); err != nil { // reclaim at t=10
+		t.Fatal(err)
+	}
+	p.WarmTTL = 100
+	if err := p.Prewarm(1, 1769); err != nil { // reclaim at t=100
+		t.Fatal(err)
+	}
+	s.RunUntil(11)
+	if p.WarmCount(1769) != 1 || p.PendingExpiries(1769) != 1 {
+		t.Fatalf("after first fire: warm=%d pending=%d", p.WarmCount(1769), p.PendingExpiries(1769))
+	}
+	s.RunUntil(101)
+	if p.WarmCount(1769) != 0 || p.PendingExpiries(1769) != 0 {
+		t.Fatalf("after second fire: warm=%d pending=%d", p.WarmCount(1769), p.PendingExpiries(1769))
 	}
 }
 

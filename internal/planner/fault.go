@@ -1,0 +1,36 @@
+package planner
+
+import "repro/internal/fault"
+
+// JCTUnderFaults predicts a plan's JCT under a deterministic fault schedule
+// — the planning-side counterpart of the trainer's fault reaction, used to
+// sanity-check a plan against known disruption windows (provider
+// maintenance, scheduled capacity reclaims) before committing to it.
+//
+// The estimate walks the stages on the plan's own timeline and applies the
+// schedule the same way the executor would: a stage starting inside a
+// straggler window runs its whole wall time at the window's factor, every
+// sandbox-kill event falling inside the stage adds one recovery penalty
+// (the caller supplies the per-kill recovery estimate — typically cold
+// start + checkpoint re-pull), and a stage starting inside an error-raising
+// brownout window budgets the retry policy's full backoff once. Like the
+// analytic JCT it refines, this is a prediction, not ground truth: windows
+// are sampled at stage granularity.
+func (pl *Planner) JCTUnderFaults(p Plan, sch *fault.Schedule, recovery float64, retry fault.RetryPolicy) float64 {
+	if !sch.Active() {
+		return pl.JCT(p)
+	}
+	var t float64
+	for i, a := range p.Stages {
+		cold := i == 0 || a.MemMB != p.Stages[i-1].MemMB
+		stage := pl.stageTimeWavesCold(i, a, pl.waves(i, a), cold)
+		start := t
+		stage *= sch.StragglerFactor(start)
+		stage += float64(sch.KillsIn(start, start+stage)) * recovery
+		if _, errRate, on := sch.BrownoutAt(start); on && errRate > 0 {
+			stage += retry.OrDefault().TotalBackoff()
+		}
+		t += stage
+	}
+	return t
+}

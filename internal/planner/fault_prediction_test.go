@@ -1,0 +1,63 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+func TestJCTUnderFaults(t *testing.T) {
+	pl := newPlanner(t, workload.MobileNet(), paperStages())
+	plan := Uniform(pl.P[len(pl.P)/2].Alloc, len(pl.Stages))
+	base := pl.JCT(plan)
+	var retry fault.RetryPolicy
+
+	// Inert schedules change nothing.
+	if got := pl.JCTUnderFaults(plan, nil, 10, retry); got != base {
+		t.Errorf("nil schedule: %g != %g", got, base)
+	}
+	if got := pl.JCTUnderFaults(plan, fault.MustNew(), 10, retry); got != base {
+		t.Errorf("empty schedule: %g != %g", got, base)
+	}
+
+	// A straggler window covering the whole run scales every stage.
+	slow := fault.MustNew(fault.StragglerWindow(0, 1e12, 2))
+	if got, want := pl.JCTUnderFaults(plan, slow, 10, retry), 2*base; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("full straggler window: %g, want %g", got, want)
+	}
+
+	// Each kill inside the horizon adds exactly one recovery penalty.
+	kills := fault.MustNew(fault.KillAt(0, 1), fault.KillAt(base/2, 1))
+	if got, want := pl.JCTUnderFaults(plan, kills, 7, retry), base+2*7; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("two kills: %g, want %g", got, want)
+	}
+	// A kill far past the predicted end adds nothing.
+	late := fault.MustNew(fault.KillAt(10*base+1e6, 3))
+	if got := pl.JCTUnderFaults(plan, late, 7, retry); got != base {
+		t.Errorf("out-of-horizon kill: %g != %g", got, base)
+	}
+
+	// An error-raising brownout budgets the retry backoff per stage it
+	// covers; a latency-only brownout (rate 0) budgets none.
+	brown := fault.MustNew(fault.BrownoutWindow(0, 1e12, 2, 0.5))
+	wantBackoff := float64(len(pl.Stages)) * fault.DefaultRetryPolicy().TotalBackoff()
+	if got, want := pl.JCTUnderFaults(plan, brown, 7, retry), base+wantBackoff; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("brownout: %g, want %g", got, want)
+	}
+	latOnly := fault.MustNew(fault.BrownoutWindow(0, 1e12, 2, 0))
+	if got := pl.JCTUnderFaults(plan, latOnly, 7, retry); got != base {
+		t.Errorf("latency-only brownout: %g != %g", got, base)
+	}
+
+	// Faults compose monotonically: more disruption, never a faster plan.
+	all := fault.MustNew(
+		fault.StragglerWindow(0, 1e12, 2),
+		fault.KillAt(1, 1),
+		fault.BrownoutWindow(0, 1e12, 2, 0.5),
+	)
+	if got := pl.JCTUnderFaults(plan, all, 7, retry); got <= 2*base {
+		t.Errorf("composed schedule %g not above straggler-only %g", got, 2*base)
+	}
+}

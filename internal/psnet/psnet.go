@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Op identifies a request type.
@@ -54,6 +55,12 @@ type Server struct {
 	model   []float64
 	round   int
 	pending map[int][]float64 // worker -> gradient for the current round
+	// linkDelay is the injected per-link latency (fault schedules degrade
+	// individual worker links); the wildcard key -1 covers workers without
+	// an explicit entry. Applied per request on the serving goroutine after
+	// handle returns, so a slow link delays only its own worker's replies —
+	// other links and the aggregation round proceed unblocked.
+	linkDelay map[int]time.Duration
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -125,6 +132,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // connection closed or corrupted
 		}
 		resp := s.handle(&req)
+		if d := s.linkDelayFor(req.Worker); d > 0 {
+			time.Sleep(d)
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -188,6 +198,38 @@ func (s *Server) handle(req *Request) *Response {
 	default:
 		return &Response{Err: "unknown op"}
 	}
+}
+
+// SetLinkDelay injects d of extra latency on one worker's link (a fault
+// schedule's per-link degradation). worker -1 sets the wildcard delay for
+// every worker without an explicit entry; d <= 0 removes the entry. The
+// delay is added to each of the worker's request round trips outside the
+// server mutex, so a degraded straggler link stalls only its own replies.
+func (s *Server) SetLinkDelay(worker int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d <= 0 {
+		delete(s.linkDelay, worker)
+		return
+	}
+	if s.linkDelay == nil {
+		s.linkDelay = make(map[int]time.Duration)
+	}
+	s.linkDelay[worker] = d
+}
+
+// linkDelayFor returns the injected latency for one worker's link: its own
+// entry if present, else the wildcard (-1) entry.
+func (s *Server) linkDelayFor(worker int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.linkDelay) == 0 {
+		return 0
+	}
+	if d, ok := s.linkDelay[worker]; ok {
+		return d
+	}
+	return s.linkDelay[-1]
 }
 
 // Round reports the completed round count.

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 )
 
 func startServer(t *testing.T, workers int, lr float64) (*Server, string) {
@@ -217,5 +218,61 @@ func TestManyRoundsConverge(t *testing.T) {
 	pushes, _ := s.Stats()
 	if pushes != 80 {
 		t.Errorf("pushes = %d, want 80", pushes)
+	}
+}
+
+func TestLinkDelayDegradesOneWorker(t *testing.T) {
+	s, addr := startServer(t, 1, 0.5)
+	c, err := Dial(addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Init([]float64{1}); err != nil {
+		t.Fatal(err)
+	}
+
+	s.SetLinkDelay(3, 30*time.Millisecond)
+	start := time.Now()
+	if _, _, err := c.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("degraded link round trip %v, want >= 30ms", d)
+	}
+
+	// Other links are untouched: a second worker's connection replies fast.
+	other, err := Dial(addr, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	start = time.Now()
+	if _, _, err := other.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d >= 30*time.Millisecond {
+		t.Errorf("undegraded link round trip %v, want fast", d)
+	}
+
+	// The wildcard covers workers without explicit entries; clearing an
+	// entry restores it to the wildcard, and clearing the wildcard restores
+	// full speed.
+	s.SetLinkDelay(-1, 30*time.Millisecond)
+	start = time.Now()
+	if _, _, err := other.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("wildcard-degraded round trip %v, want >= 30ms", d)
+	}
+	s.SetLinkDelay(-1, 0)
+	s.SetLinkDelay(3, 0)
+	start = time.Now()
+	if _, _, err := c.Pull(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d >= 30*time.Millisecond {
+		t.Errorf("restored link round trip %v, want fast", d)
 	}
 }

@@ -1,0 +1,101 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pricing"
+)
+
+func TestFaultyInjectsDeterministically(t *testing.T) {
+	f := NewFaulty(NewStore())
+	f.SetErrorRate(0.25)
+	var pattern []bool
+	fails := 0
+	for i := 0; i < 100; i++ {
+		err := f.TryPut("k", []float64{1})
+		pattern = append(pattern, err != nil)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			fails++
+		}
+	}
+	if fails != 25 {
+		t.Errorf("fails = %d at rate 0.25 over 100 ops, want 25", fails)
+	}
+	if got := f.FailCount(); got != 25 {
+		t.Errorf("FailCount = %d, want 25", got)
+	}
+	// A fresh wrapper replays the identical sequence: injection is a
+	// function of the op index, not of time or randomness.
+	g := NewFaulty(NewStore())
+	g.SetErrorRate(0.25)
+	for i, want := range pattern {
+		if got := g.TryPut("k", []float64{1}) != nil; got != want {
+			t.Fatalf("op %d: fail=%v, first run %v", i, got, want)
+		}
+	}
+}
+
+func TestFaultyFailedOpsTouchNothing(t *testing.T) {
+	f := NewFaulty(NewStore())
+	f.SetErrorRate(1)
+	if err := f.TryPut("k", []float64{42}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("TryPut err = %v", err)
+	}
+	if f.Store().Len() != 0 {
+		t.Error("failed Put wrote to the store")
+	}
+	if _, _, err := f.TryGet("k"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("TryGet err = %v", err)
+	}
+	// Rate 0 restores normal behavior on the same wrapper.
+	f.SetErrorRate(0)
+	if err := f.TryPut("k", []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := f.TryGet("k")
+	if err != nil || !ok || len(v) != 1 || v[0] != 42 {
+		t.Fatalf("TryGet = %v %v %v", v, ok, err)
+	}
+	if _, ok, err := f.TryGet("absent"); err != nil || ok {
+		t.Fatalf("absent key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDegradedScalesLatencyNotCost(t *testing.T) {
+	svc := NewS3(pricing.Default())
+	factor := 1.0
+	d := NewDegraded(svc, func() float64 { return factor })
+
+	if got, want := d.TransferTime(10, 80), svc.TransferTime(10, 80); got != want {
+		t.Errorf("neutral TransferTime %g != %g", got, want)
+	}
+	factor = 3
+	if got, want := d.TransferTime(10, 80), 3*svc.TransferTime(10, 80); got != want {
+		t.Errorf("degraded TransferTime %g, want %g", got, want)
+	}
+	if got, want := d.SyncTime(10, 80), 3*svc.SyncTime(10, 80); got != want {
+		t.Errorf("degraded SyncTime %g, want %g", got, want)
+	}
+	// Slower, not cheaper: cost and capability methods delegate unchanged.
+	if d.SyncRequestCost(10, 80) != svc.SyncRequestCost(10, 80) ||
+		d.RuntimeCost(100) != svc.RuntimeCost(100) ||
+		d.ChargesByRequest() != svc.ChargesByRequest() ||
+		d.ProvisionDelay() != svc.ProvisionDelay() ||
+		d.Supports(80) != svc.Supports(80) ||
+		d.Kind() != svc.Kind() {
+		t.Error("cost/capability methods did not delegate unchanged")
+	}
+	// A factor below 1 never speeds storage up; nil factor is neutral.
+	factor = 0.25
+	if got, want := d.TransferTime(10, 80), svc.TransferTime(10, 80); got != want {
+		t.Errorf("sub-1 factor applied: %g != %g", got, want)
+	}
+	n := NewDegraded(svc, nil)
+	if got, want := n.SyncTime(10, 80), svc.SyncTime(10, 80); got != want {
+		t.Errorf("nil factor: %g != %g", got, want)
+	}
+}

@@ -1,0 +1,188 @@
+package trainer
+
+import (
+	"fmt"
+
+	"repro/internal/faas"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// Scheduled fault reaction: when Config.Faults is active, the deterministic
+// schedule drives the failure path instead of the synthetic dice roll.
+// Kills and warm reclaims mutate the real platform; brownouts exercise the
+// bounded retry policy around checkpoint storage; straggler and brownout
+// windows inflate the epoch components in runEpoch. Everything lands on the
+// same clocks and meters as the synthetic model, so results from the two
+// paths are directly comparable.
+
+// platformOf returns the backend's raw simulated platform when available.
+// Fault injection mutates real platform state through it; a backend without
+// one (the live substrate) keeps the time and cost accounting but skips the
+// mutation.
+func (r *Runner) platformOf() *faas.Platform {
+	if pp, ok := r.Backend.(interface{ Platform() *faas.Platform }); ok {
+		return pp.Platform()
+	}
+	return nil
+}
+
+// scheduledFaults processes every instantaneous fault event the schedule
+// places before the end of the current epoch attempt. A warm reclaim is a
+// pure platform mutation (the job itself is untouched). A sandbox kill
+// aborts the BSP epoch exactly like a synthetic crash: the group loses the
+// attempt fraction that ran before the kill, the killed sandboxes
+// re-invoke at real (possibly cold-spiked) start latency and re-pull the
+// checkpoint through possibly browned-out storage, and the epoch retries.
+func (r *Runner) scheduledFaults(st *state, epoch int, epochT float64) error {
+	sched := st.cfg.Faults
+	for {
+		ev, idx, ok := sched.NextInstant(st.faultCursor, st.clock+epochT)
+		if !ok {
+			return nil
+		}
+		st.faultCursor = idx
+		switch ev.Kind {
+		case fault.ReclaimWarm:
+			if pf := r.platformOf(); pf != nil {
+				n := pf.ReclaimWarm(ev.Count)
+				if r.obs.Enabled() {
+					r.obs.Trace().InstantAt(st.clock, "job", "trainer", "fault_reclaim",
+						obs.I("epoch", epoch), obs.I("n", n))
+				}
+			}
+		case fault.KillSandbox:
+			if err := r.killDuringEpoch(st, epoch, epochT, ev); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// killDuringEpoch handles one scheduled sandbox kill mid-epoch.
+func (r *Runner) killDuringEpoch(st *state, epoch int, epochT float64, ev fault.Event) error {
+	sched := st.cfg.Faults
+	a := st.alloc
+	w := st.cfg.Workload
+	k := ev.Count
+	if k > a.N {
+		k = a.N
+	}
+	if k <= 0 {
+		return nil
+	}
+	// The attempt fraction that ran before the kill is wasted (the BSP
+	// barrier cannot complete without the killed members).
+	wasted := ev.At - st.clock
+	if wasted < 0 {
+		wasted = 0
+	}
+	if wasted > epochT {
+		wasted = epochT
+	}
+	pf := r.platformOf()
+	if pf != nil {
+		pf.KillSandboxes(k)
+		// Replacements pay the platform's real start latency, spiked if the
+		// kill lands inside a cold-start spike window.
+		pf.SetColdSpikeFactor(sched.ColdSpikeFactor(ev.At))
+	}
+	invs, err := r.Compute().InvokeGroup(k, a.MemMB)
+	if pf != nil {
+		pf.SetColdSpikeFactor(1)
+	}
+	if err != nil {
+		return fmt.Errorf("trainer: re-invoking %d killed sandboxes: %w", k, err)
+	}
+	start := 0.0
+	for _, inv := range invs {
+		if inv.StartDelay > start {
+			start = inv.StartDelay
+		}
+	}
+	// The checkpoint re-pull crosses storage that may be browned out.
+	lat := 1.0
+	if l, _, on := sched.BrownoutAt(ev.At); on {
+		lat = l
+	}
+	recover := start + r.Service(a.Storage).TransferTime(a.N, w.ParamsMB)*lat
+	st.clock += wasted + recover
+	st.res.OverheadTime += wasted + recover
+	st.res.FailureTime += wasted + recover
+	st.res.Failures++
+	if r.obs.Enabled() {
+		r.obs.Trace().InstantAt(st.clock, "job", "trainer", "fault_kill",
+			obs.I("epoch", epoch), obs.I("killed", k),
+			obs.F("wasted_s", wasted), obs.F("recover_s", recover))
+		r.obs.Stats().Inc("trainer.failures")
+		r.obs.Stats().Add("trainer.failure_s", wasted+recover)
+		r.obs.Stats().Add("trainer.fault_kills", float64(k))
+	}
+	// Same billing shape as the synthetic path: the whole group is charged
+	// for the wasted attempt, the k replacements for their recovery run and
+	// invocation fees.
+	r.Compute().BillCompute(a.N, a.MemMB, wasted)
+	r.Compute().BillCompute(k, a.MemMB, recover)
+	computeSpent := float64(k) * r.Prices.ComputeOnlyCost(recover, float64(a.MemMB))
+	if wasted > 0 { // a kill at the attempt boundary wasted no compute
+		computeSpent += float64(a.N) * r.Prices.ComputeOnlyCost(wasted, float64(a.MemMB))
+	}
+	invokeSpent := float64(k) * r.Prices.FunctionInvoke
+	st.res.FunctionCost += computeSpent
+	st.res.InvokeCost += invokeSpent
+	st.res.TotalCost += computeSpent + invokeSpent
+	// Without a usable checkpoint the crash loses all progress, exactly as
+	// in the synthetic model.
+	if (st.cfg.DisableCheckpoint || st.ckptOff) && st.initialState != nil {
+		if snap, ok := st.cfg.Engine.(workload.Snapshotter); ok {
+			if err := snap.Restore(st.initialState); err != nil {
+				return fmt.Errorf("trainer: restoring initial state: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// brownoutOp gates one checkpoint storage operation through an active
+// brownout window. Failed attempts back off on the job clock per the retry
+// policy; returning false means the policy was exhausted and the job just
+// degraded to checkpoint-less mode (Result.Degraded) — the graceful path,
+// where the old behavior for unusable checkpoints was a panic.
+func (r *Runner) brownoutOp(st *state, op string) bool {
+	sched := st.cfg.Faults
+	if !sched.Active() {
+		return true
+	}
+	_, errRate, on := sched.BrownoutAt(st.clock)
+	if !on || errRate == 0 {
+		return true
+	}
+	pol := st.cfg.Retry.OrDefault()
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if !st.gate.Fail(errRate) {
+			return true
+		}
+		backoff := pol.Backoff(attempt)
+		st.clock += backoff
+		st.res.OverheadTime += backoff
+		st.res.StorageRetries++
+		if r.obs.Enabled() {
+			r.obs.Trace().InstantAt(st.clock, "job", "trainer", "storage_retry",
+				obs.S("op", op), obs.I("attempt", attempt), obs.F("backoff_s", backoff))
+			r.obs.Stats().Inc("trainer.storage_retries")
+		}
+	}
+	r.degrade(st, "brownout retries exhausted during "+op)
+	return false
+}
+
+// degrade latches the job into checkpoint-less mode with an explicit flag.
+func (r *Runner) degrade(st *state, why string) {
+	st.res.Degraded = true
+	st.ckptOff = true
+	if r.obs.Enabled() {
+		r.obs.Trace().InstantAt(st.clock, "job", "trainer", "degraded", obs.S("why", why))
+		r.obs.Stats().Inc("trainer.degraded")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/cost"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/platform/simbackend"
@@ -47,6 +48,12 @@ type Noise struct {
 	// checkpoint.
 	FailureRate float64
 }
+
+// failureAttemptCap bounds the synthetic failure model's per-epoch retry
+// loop. Hitting it means the model stopped simulating crashes for that epoch
+// and proceeded as if it had succeeded; Result.FailureCapped counts those
+// truncations.
+const failureAttemptCap = 50
 
 // DefaultNoise returns the calibration used in the evaluation.
 func DefaultNoise() Noise {
@@ -106,10 +113,21 @@ type Result struct {
 	Restarts  int
 	FinalLoss float64
 	// Failures counts crashed epoch attempts; FailureTime is the wall time
-	// they wasted (part of OverheadTime).
-	Failures    int
-	FailureTime float64
-	Trace       []EpochReport
+	// they wasted (part of OverheadTime). FailureCapped counts epochs whose
+	// failure retry loop hit the attempt cap and proceeded as if the epoch
+	// had succeeded — a truncation of the synthetic failure model that
+	// would otherwise be silent.
+	Failures      int
+	FailureTime   float64
+	FailureCapped int
+	// Degraded marks that a storage brownout (or a corrupt checkpoint)
+	// exhausted the retry policy and the job fell back to checkpoint-less
+	// mode for the rest of its run — an explicit flag, not a panic.
+	// StorageRetries counts the brownout attempts that failed and backed
+	// off before succeeding or degrading.
+	Degraded       bool
+	StorageRetries int
+	Trace          []EpochReport
 }
 
 // Config describes one training job.
@@ -137,6 +155,21 @@ type Config struct {
 	// stale gradients slow statistical progress, so more wall-clock epochs
 	// are needed per engine epoch (the classic ASP trade).
 	Async bool
+
+	// Faults attaches a deterministic fault schedule (internal/fault). When
+	// the schedule is active it REPLACES the synthetic dice-roll failure
+	// model (Noise.FailureRate is ignored): sandbox kills, straggler
+	// slowdowns, storage brownouts and cold-start spikes happen at explicit
+	// scheduled times, mutate the real platform, and reach the controller
+	// only through the epoch times it ordinarily observes. An attached but
+	// empty schedule changes nothing — results stay bit-identical to no
+	// schedule at all.
+	Faults *fault.Schedule
+
+	// Retry bounds the trainer's storage retries during brownout windows
+	// (the zero value means fault.DefaultRetryPolicy). Exhausting it drops
+	// the job to checkpoint-less mode with Result.Degraded set.
+	Retry fault.RetryPolicy
 
 	Controller Controller // optional
 }
@@ -282,6 +315,14 @@ type state struct {
 	// initialState snapshots the engine before training so a failure
 	// without checkpointing can lose everything (DisableCheckpoint).
 	initialState []float64
+
+	// faultCursor walks Config.Faults' instantaneous events (kills and
+	// warm reclaims) as the job clock passes them; gate drives the
+	// deterministic brownout error injection; ckptOff latches the degraded
+	// checkpoint-less mode once the retry policy is exhausted.
+	faultCursor int
+	gate        fault.Gate
+	ckptOff     bool
 }
 
 // Run executes the job to convergence, MaxEpochs, or a Stop decision.
@@ -325,7 +366,7 @@ func (r *Runner) StartJob(cfg Config) (*Job, error) {
 	if cfg.MaxEpochs <= 0 {
 		cfg.MaxEpochs = 1000
 	}
-	st := &state{cfg: cfg, alloc: cfg.Alloc, res: &Result{}}
+	st := &state{cfg: cfg, alloc: cfg.Alloc, res: &Result{}, faultCursor: -1}
 	if snap, ok := cfg.Engine.(workload.Snapshotter); ok {
 		st.initialState = snap.Snapshot()
 	}
@@ -482,6 +523,18 @@ func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 		computeT = r.groundTruthCompute(w, a)
 		syncT = r.groundTruthSync(w, a, svc)
 	}
+	if sched := st.cfg.Faults; sched.Active() {
+		// Active fault windows inflate this epoch's components: stragglers
+		// slow compute, brownouts slow the storage-bound synchronization.
+		// The controller is not told — it sees the inflated epoch time
+		// through its normal observations, which is what forces a genuine
+		// re-plan (a path= entry in the decision log) rather than a scripted
+		// one.
+		computeT *= sched.StragglerFactor(st.clock)
+		if lat, _, on := sched.BrownoutAt(st.clock); on {
+			syncT *= lat
+		}
+	}
 	epochT := computeT + syncT
 
 	// Failure injection: any crashed worker aborts the BSP epoch. The
@@ -489,10 +542,19 @@ func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 	// for the wasted compute), the crashed sandbox restarts and re-pulls
 	// the last checkpoint, and the epoch retries. Without checkpointing a
 	// single crash throws the job back to the initial model.
-	if p := r.Noise.FailureRate; p > 0 && a.N > 0 {
+	//
+	// An active fault schedule replaces the synthetic dice roll entirely:
+	// crashes then happen exactly when the schedule says, against the real
+	// platform.
+	if sched := st.cfg.Faults; sched.Active() {
+		if err := r.scheduledFaults(st, epoch, epochT); err != nil {
+			return EpochReport{}, err
+		}
+	} else if p := r.Noise.FailureRate; p > 0 && a.N > 0 {
 		rng := r.Backend.Rand("trainer.failure")
 		groupP := 1 - math.Pow(1-p, float64(a.N))
-		for attempt := 0; attempt < 50 && rng.Float64() < groupP; attempt++ {
+		attempt := 0
+		for ; attempt < failureAttemptCap && rng.Float64() < groupP; attempt++ {
 			wasted := rng.Float64() * epochT
 			recover := r.Compute().ColdStartEstimate(a.MemMB) +
 				svc.TransferTime(a.N, w.ParamsMB)
@@ -506,8 +568,14 @@ func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 				r.obs.Stats().Inc("trainer.failures")
 				r.obs.Stats().Add("trainer.failure_s", wasted+recover)
 			}
+			// The whole group is billed for the wasted fraction, and the
+			// restarted sandbox is billed for its recovery run (cold start +
+			// checkpoint re-pull): that time is on the platform's clock, so
+			// it must also be on its meter.
 			r.Compute().BillCompute(a.N, a.MemMB, wasted)
-			spent := float64(a.N) * r.Prices.ComputeOnlyCost(wasted, float64(a.MemMB))
+			r.Compute().BillCompute(1, a.MemMB, recover)
+			spent := float64(a.N)*r.Prices.ComputeOnlyCost(wasted, float64(a.MemMB)) +
+				r.Prices.ComputeOnlyCost(recover, float64(a.MemMB))
 			st.res.FunctionCost += spent
 			st.res.TotalCost += spent
 			if st.cfg.DisableCheckpoint && st.initialState != nil {
@@ -516,6 +584,14 @@ func (r *Runner) runEpoch(st *state, epoch int) (EpochReport, error) {
 						panic(fmt.Sprintf("trainer: restoring initial state: %v", err))
 					}
 				}
+			}
+		}
+		if attempt == failureAttemptCap {
+			// The synthetic model gave up retrying and let the epoch proceed
+			// as a success. Surface the truncation instead of dropping it.
+			st.res.FailureCapped++
+			if r.obs.Enabled() {
+				r.obs.Stats().Inc("trainer.failure_cap")
 			}
 		}
 	}
@@ -731,12 +807,18 @@ func (r *Runner) applySwitch(st *state, next cost.Allocation, delayed bool) erro
 	return nil
 }
 
-// checkpoint writes the engine state to the storage substrate.
+// checkpoint writes the engine state to the storage substrate. Under an
+// active brownout window the write runs through the bounded retry policy;
+// exhausting it degrades the job to checkpoint-less mode instead of
+// erroring.
 func (r *Runner) checkpoint(st *state) error {
-	if st.cfg.DisableCheckpoint {
+	if st.cfg.DisableCheckpoint || st.ckptOff {
 		return nil
 	}
 	if snap, ok := st.cfg.Engine.(workload.Snapshotter); ok {
+		if !r.brownoutOp(st, "checkpoint") {
+			return nil
+		}
 		if err := r.Params().Put(checkpointKey, snap.Snapshot()); err != nil {
 			return fmt.Errorf("trainer: checkpoint: %w", err)
 		}
@@ -744,10 +826,17 @@ func (r *Runner) checkpoint(st *state) error {
 	return nil
 }
 
-// restoreCheckpoint pulls the engine state back after a restart.
+// restoreCheckpoint pulls the engine state back after a restart. Storage
+// trouble degrades rather than kills the job: a browned-out read that
+// exhausts its retries, or a checkpoint that no longer restores, drops the
+// job to checkpoint-less mode with Result.Degraded set and training
+// continues from the in-memory state.
 func (r *Runner) restoreCheckpoint(st *state) error {
 	snap, ok := st.cfg.Engine.(workload.Snapshotter)
-	if !ok {
+	if !ok || st.ckptOff {
+		return nil
+	}
+	if !r.brownoutOp(st, "restore") {
 		return nil
 	}
 	state, found, err := r.Params().Get(checkpointKey)
@@ -755,9 +844,9 @@ func (r *Runner) restoreCheckpoint(st *state) error {
 		return fmt.Errorf("trainer: reading checkpoint: %w", err)
 	}
 	if found {
-		// Restore errors are impossible for states we wrote ourselves.
 		if err := snap.Restore(state); err != nil {
-			panic(fmt.Sprintf("trainer: corrupt checkpoint: %v", err))
+			r.degrade(st, "corrupt checkpoint: "+err.Error())
+			return nil
 		}
 	}
 	return nil

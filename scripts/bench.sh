@@ -1,42 +1,42 @@
 #!/bin/sh
-# Performance snapshot for the PR 8 traffic-engine pass: the zero-alloc
-# trace parser and arrival-cursor microbenchmarks, the kernel's bulk
-# ScheduleBatch vs individual scheduling, and the macro-trace scenario —
-# 128 open-loop tenant streams (>=10M invocations over a 24h horizon) on
-# one shared serverless account — at shards=1 and shards=8 with the
-# parallel window executor. Writes BENCH_PR8.json plus the unified
-# BENCH.json ({bench, value, unit, pr} rows) covering the measured PR8
-# numbers and the curated headline numbers from BENCH_PR2/3/6/7.
+# Performance snapshot for the PR 10 fault-injection pass: the macro-chaos
+# scenario — the macro-day tenant fleet with a compiled per-tenant fault
+# schedule (kills with completion-cancel bookkeeping, warm reclaims,
+# cold-start spike windows, browned-out checkpoint stores with bounded
+# retries, straggler windows, plus the shard-0 distress monitor) — at
+# shards=1 and shards=8 with the parallel window executor, against a
+# macro-day run at the identical population as the no-fault reference.
+# Writes BENCH_PR10.json plus the unified BENCH.json ({bench, value, unit,
+# pr} rows) covering the measured PR10 numbers and the recorded headline
+# numbers from BENCH_PR2/3/6/7/8.
 #
 # Honesty notes:
-#   - There is no pre-PR8 traffic engine to diff against; the throughput
-#     bar is PR6's macro-day rate on this host (1,839,964 events/sec at
-#     shards=1, BENCH_PR6.json) and the run fails if macro-trace lands
-#     under it. macro-trace fires ~6 events per invocation (pump, arrive,
-#     admit, grant, done, release) versus macro-day's ~2, so clearing the
-#     bar means the per-event cost got cheaper, not the events simpler.
-#   - The memory discipline claim (peak RSS is O(tenants), independent of
-#     invocation count) is demonstrated by running the same 128 tenants at
-#     two trace lengths (24h and 12h): invocations halve, RSS stays flat.
+#   - macro-chaos fires more events per arrival than macro-day (compiled
+#     fault events, kill re-submissions, checkpoint retries, the monitor's
+#     10-minute report loop), so its events/sec is not a like-for-like rate;
+#     the macro-day run at the same population is printed next to it so the
+#     fault machinery's total wall-clock overhead is visible directly.
+#   - The throughput bar is relative: macro-chaos events/sec must stay
+#     within 1.5x of the same-run, same-population macro-day per-event
+#     cost. A same-run reference is robust to host noise, and the 1.5x
+#     headroom covers the fault bookkeeping each event now carries
+#     (live-record scans, error gates, monitor reports) while still
+#     failing if fault injection de-optimizes the kernel's event path.
 #   - On a 1-CPU container the shards=8/workers=8 run measures executor
 #     overhead, not speedup; determinism holds at every setting regardless.
 #
-#   scripts/bench.sh                  # full run, writes BENCH_PR8.json + BENCH.json
-#   BENCH_COUNT=5 scripts/bench.sh    # more benchmark samples for benchstat
+#   scripts/bench.sh                  # full run, writes BENCH_PR10.json + BENCH.json
+#   CHAOS_TENANTS=128 scripts/bench.sh
 #   BENCH_OUT=/tmp/b.json scripts/bench.sh
-#   TRAFFIC_TENANTS=256 scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_PR8.json}"
+OUT="${BENCH_OUT:-BENCH_PR10.json}"
 UNIFIED="${BENCH_UNIFIED_OUT:-BENCH.json}"
-COUNT="${BENCH_COUNT:-1}"
 SEED=2023
-TENANTS="${TRAFFIC_TENANTS:-128}"
-RATE="${TRAFFIC_RATE:-1}"
-HORIZON="${TRAFFIC_HORIZON:-86400}"
-MICRO=/tmp/cebench_pr8_bench.txt
+TENANTS="${CHAOS_TENANTS:-64}"
+PER_TENANT="${CHAOS_PER_TENANT:-15625}"
 
 echo "== zero-alloc gates (steady-state fit/observe/decision/traffic/invoke must not touch the heap)"
 go test -run 'TestFitterZeroAlloc|TestFixedWindowObserveZeroAlloc|TestDecisionZeroAlloc' \
@@ -44,131 +44,114 @@ go test -run 'TestFitterZeroAlloc|TestFixedWindowObserveZeroAlloc|TestDecisionZe
 go test -run 'TestHistObserveZeroAlloc|TestCursorNextZeroAlloc|TestInvoke1SteadyStateZeroAlloc|TestInvoke1DenialZeroAlloc' \
 	./internal/obs/ ./internal/traffic/ ./internal/faas/
 
-echo "== traffic-engine microbenchmarks, count=$COUNT"
-go test -run '^$' -bench 'BenchmarkParseTrace$' \
-	-benchmem -count "$COUNT" ./internal/traffic/ | tee "$MICRO"
-go test -run '^$' -bench 'BenchmarkScheduleBatch$|BenchmarkScheduleBurstIndividual$|BenchmarkScheduleRun$' \
-	-benchmem -count "$COUNT" ./internal/sim/ | tee -a "$MICRO"
-
-echo "== macro-trace: $TENANTS open-loop streams x ${RATE}/s x ${HORIZON}s (seed $SEED)"
+echo "== macro-chaos: $TENANTS tenants x $PER_TENANT arrivals under per-tenant fault schedules (seed $SEED)"
 go build -o /tmp/cebench.bench ./cmd/cebench
 
-run_trace() { # $1=shards $2=workers $3=horizon $4=stdout-file $5=stderr-file
+run_chaos() { # $1=shards $2=workers $3=stdout-file $4=stderr-file
 	/tmp/cebench.bench -seed "$SEED" -rusage \
-		-traffic-tenants "$TENANTS" -traffic-rate "$RATE" -traffic-horizon "$3" \
-		-shards "$1" -sim-workers "$2" macro-trace >"$4" 2>"$5"
+		-chaos-tenants "$TENANTS" -chaos-per-tenant "$PER_TENANT" \
+		-shards "$1" -sim-workers "$2" macro-chaos >"$3" 2>"$4"
 }
 
 t0=$(date +%s%3N)
-run_trace 1 1 "$HORIZON" /tmp/trace.s1.txt /tmp/trace.s1.err
+run_chaos 1 1 /tmp/chaos.s1.txt /tmp/chaos.s1.err
 t1=$(date +%s%3N)
 s1_ms=$((t1 - t0))
 
 t0=$(date +%s%3N)
-run_trace 8 8 "$HORIZON" /tmp/trace.s8.txt /tmp/trace.s8.err
+run_chaos 8 8 /tmp/chaos.s8.txt /tmp/chaos.s8.err
 t1=$(date +%s%3N)
 s8_ms=$((t1 - t0))
 
-cmp /tmp/trace.s1.txt /tmp/trace.s8.txt || {
-	echo "macro-trace stdout differs between shards=1 and shards=8"; exit 1;
+cmp /tmp/chaos.s1.txt /tmp/chaos.s8.txt || {
+	echo "macro-chaos stdout differs between shards=1 and shards=8"; exit 1;
 }
 
-HALF_HORIZON="$(awk -v h="$HORIZON" 'BEGIN { printf "%g", h / 2 }')"
-run_trace 1 1 "$HALF_HORIZON" /tmp/trace.half.txt /tmp/trace.half.err
+echo "== macro-day at the same population (no-fault reference)"
+t0=$(date +%s%3N)
+/tmp/cebench.bench -seed "$SEED" -rusage \
+	-macro-tenants "$TENANTS" -macro-per-tenant "$PER_TENANT" \
+	-shards 1 -sim-workers 1 macro-day >/tmp/chaos.day.txt 2>/tmp/chaos.day.err
+t1=$(date +%s%3N)
+day_ms=$((t1 - t0))
 
-INV="$(sed -n 's/.*invocations=\([0-9]*\).*/\1/p' /tmp/trace.s1.txt | tail -1)"
-EVENTS="$(sed -n 's/.*events=\([0-9]*\).*/\1/p' /tmp/trace.s1.txt | tail -1)"
-RSS1="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/trace.s1.err | tail -1)"
-RSS8="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/trace.s8.err | tail -1)"
-CORES="$(sed -n 's/.*cores=\([0-9]*\).*/\1/p' /tmp/trace.s1.err | tail -1)"
-INV_HALF="$(sed -n 's/.*invocations=\([0-9]*\).*/\1/p' /tmp/trace.half.txt | tail -1)"
-RSS_HALF="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/trace.half.err | tail -1)"
-[ -n "$INV" ] || INV=0
+EVENTS="$(sed -n 's/.*events=\([0-9]*\).*/\1/p' /tmp/chaos.s1.txt | tail -1)"
+FAULTS="$(sed -n 's/.*fault events compiled=\([0-9]*\).*/\1/p' /tmp/chaos.s1.txt | tail -1)"
+RSS1="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/chaos.s1.err | tail -1)"
+RSS8="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/chaos.s8.err | tail -1)"
+CORES="$(sed -n 's/.*cores=\([0-9]*\).*/\1/p' /tmp/chaos.s1.err | tail -1)"
+DAY_EVENTS="$(sed -n 's/.*events=\([0-9]*\).*/\1/p' /tmp/chaos.day.txt | tail -1)"
+DAY_RSS="$(sed -n 's/.*peak RSS \([0-9]*\) kB.*/\1/p' /tmp/chaos.day.err | tail -1)"
 [ -n "$EVENTS" ] || EVENTS=0
+[ -n "$FAULTS" ] || FAULTS=0
 [ -n "$RSS1" ] || RSS1=0
 [ -n "$RSS8" ] || RSS8=0
 [ -n "$CORES" ] || CORES=0
-[ -n "$INV_HALF" ] || INV_HALF=0
-[ -n "$RSS_HALF" ] || RSS_HALF=0
+[ -n "$DAY_EVENTS" ] || DAY_EVENTS=0
+[ -n "$DAY_RSS" ] || DAY_RSS=0
 
-echo "shards=1/workers=1: ${s1_ms}ms, peak RSS ${RSS1}kB"
-echo "shards=8/workers=8: ${s8_ms}ms, peak RSS ${RSS8}kB"
-echo "invocations: $INV ($INV_HALF at half horizon), events: $EVENTS (byte-identical stdout across configs)"
-echo "half-horizon peak RSS: ${RSS_HALF}kB (flat RSS at half the invocations => O(tenants) memory)"
+echo "macro-chaos shards=1/workers=1: ${s1_ms}ms, ${EVENTS} events (${FAULTS} fault events), peak RSS ${RSS1}kB"
+echo "macro-chaos shards=8/workers=8: ${s8_ms}ms, peak RSS ${RSS8}kB (byte-identical stdout)"
+echo "macro-day   shards=1/workers=1: ${day_ms}ms, ${DAY_EVENTS} events, peak RSS ${DAY_RSS}kB (no-fault reference)"
 
-if [ "$INV" -lt 10000000 ] && [ "$TENANTS" -eq 128 ] && [ "$HORIZON" = 86400 ]; then
-	echo "macro-trace produced $INV invocations, expected >= 10M at the default scale"; exit 1
-fi
-awk -v e="$EVENTS" -v ms="$s1_ms" 'BEGIN {
+awk -v e="$EVENTS" -v ms="$s1_ms" -v de="$DAY_EVENTS" -v dms="$day_ms" 'BEGIN {
 	eps = ms > 0 ? e * 1000.0 / ms : 0
-	printf "events/sec (shards=1): %.0f (bar: 1839964, PR6 macro-day on this host)\n", eps
-	if (eps < 1839964) { print "macro-trace events/sec under the PR6 macro-day bar"; exit 1 }
+	day_eps = dms > 0 ? de * 1000.0 / dms : 0
+	bar = day_eps / 1.5
+	printf "events/sec (shards=1): %.0f (bar: %.0f = same-run macro-day %.0f / 1.5)\n", eps, bar, day_eps
+	if (eps < bar) { print "macro-chaos per-event cost over 1.5x the same-run macro-day reference"; exit 1 }
 }'
 
-# Summarize microbenchmarks into BENCH_PR8.json: mean ns/op, MB/s and
-# allocs/op per name, then the macro-trace numbers.
-awk -v s1_ms="$s1_ms" -v s8_ms="$s8_ms" -v inv="$INV" -v events="$EVENTS" \
-	-v rss1="$RSS1" -v rss8="$RSS8" -v cores="$CORES" -v seed="$SEED" \
-	-v tenants="$TENANTS" -v rate="$RATE" -v horizon="$HORIZON" \
-	-v half_horizon="$HALF_HORIZON" -v inv_half="$INV_HALF" -v rss_half="$RSS_HALF" '
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	for (i = 2; i <= NF; i++) {
-		if ($(i) == "ns/op")     { ns[name] += $(i-1); nsn[name]++ }
-		if ($(i) == "MB/s")      { mb[name] += $(i-1); mbn[name]++ }
-		if ($(i) == "allocs/op") { al[name] += $(i-1); aln[name]++ }
-	}
-}
-END {
-	printf "{\n"
-	printf "  \"pr\": 8,\n"
-	printf "  \"seed\": %d,\n", seed
-	printf "  \"note\": \"Traffic engine: lazy arrival cursors (one pending pump event per tenant), zero-alloc trace parsing, bulk ScheduleBatch injection, pooled invocation frames and streaming per-tenant aggregation. No pre-PR8 traffic path exists, so the throughput bar is PR6 macro-day on this host (1839964 events/sec, shards=1) and the memory claim is shown by two trace lengths: half the horizon halves invocations while peak RSS stays flat (O(tenants)). events_per_sec are honest single-host numbers; with cores=1 the shards=8/workers=8 run measures executor overhead, not speedup.\",\n"
-	printf "  \"after\": {\n"
-	for (name in ns) {
-		printf "    \"%s\": {\"ns_per_op\": %.2f", name, ns[name] / nsn[name]
-		if (mbn[name] > 0) printf ", \"mb_per_sec\": %.2f", mb[name] / mbn[name]
-		if (aln[name] > 0) printf ", \"allocs_per_op\": %.1f", al[name] / aln[name]
-		printf "},\n"
-	}
-	printf "    \"macro_trace\": {\n"
-	printf "      \"tenants\": %d,\n", tenants
-	printf "      \"rate_per_sec\": %g,\n", rate
-	printf "      \"horizon_s\": %g,\n", horizon
-	printf "      \"invocations\": %d,\n", inv
-	printf "      \"events\": %d,\n", events
-	printf "      \"cores\": %d,\n", cores
+awk -v s1_ms="$s1_ms" -v s8_ms="$s8_ms" -v day_ms="$day_ms" \
+	-v events="$EVENTS" -v faults="$FAULTS" -v day_events="$DAY_EVENTS" \
+	-v rss1="$RSS1" -v rss8="$RSS8" -v day_rss="$DAY_RSS" -v cores="$CORES" \
+	-v seed="$SEED" -v tenants="$TENANTS" -v per_tenant="$PER_TENANT" '
+BEGIN {
 	eps1 = s1_ms > 0 ? events * 1000.0 / s1_ms : 0
 	eps8 = s8_ms > 0 ? events * 1000.0 / s8_ms : 0
+	day_eps = day_ms > 0 ? day_events * 1000.0 / day_ms : 0
+	printf "{\n"
+	printf "  \"pr\": 10,\n"
+	printf "  \"seed\": %d,\n", seed
+	printf "  \"note\": \"Fault injection: per-tenant fault schedules compiled onto the sharded kernel (kills with live-record completion cancels, warm reclaims, cold-spike windows, browned-out checkpoint stores with bounded retries, straggler windows, shard-0 distress monitor). macro-chaos fires more events per arrival than macro-day (fault events, kill re-submissions, checkpoint retries, monitor loop) and each event carries fault bookkeeping, so the bar is relative: chaos events/sec must stay within 1.5x of the same-run macro-day per-event cost at the identical population, recorded here as macro_day_reference. With cores=1 the shards=8/workers=8 run measures executor overhead, not speedup.\",\n"
+	printf "  \"after\": {\n"
+	printf "    \"macro_chaos\": {\n"
+	printf "      \"tenants\": %d,\n", tenants
+	printf "      \"per_tenant\": %d,\n", per_tenant
+	printf "      \"events\": %d,\n", events
+	printf "      \"fault_events_compiled\": %d,\n", faults
+	printf "      \"cores\": %d,\n", cores
 	printf "      \"shards1_ms\": %d,\n", s1_ms
 	printf "      \"shards1_events_per_sec\": %.0f,\n", eps1
 	printf "      \"shards1_peak_rss_kb\": %d,\n", rss1
 	printf "      \"shards8_workers8_ms\": %d,\n", s8_ms
 	printf "      \"shards8_workers8_events_per_sec\": %.0f,\n", eps8
 	printf "      \"shards8_workers8_peak_rss_kb\": %d,\n", rss8
-	printf "      \"half_horizon_s\": %g,\n", half_horizon
-	printf "      \"half_horizon_invocations\": %d,\n", inv_half
-	printf "      \"half_horizon_peak_rss_kb\": %d,\n", rss_half
-	if (rss_half > 0) printf "      \"rss_full_over_half\": %.3f,\n", rss1 / rss_half
-	printf "      \"pr6_macro_day_events_per_sec_bar\": 1839964,\n"
+	printf "      \"events_per_sec_bar\": %.0f,\n", day_eps / 1.5
 	printf "      \"stdout_identical_across_configs\": true\n"
+	printf "    },\n"
+	printf "    \"macro_day_reference\": {\n"
+	printf "      \"tenants\": %d,\n", tenants
+	printf "      \"per_tenant\": %d,\n", per_tenant
+	printf "      \"events\": %d,\n", day_events
+	printf "      \"shards1_ms\": %d,\n", day_ms
+	printf "      \"shards1_events_per_sec\": %.0f,\n", day_eps
+	printf "      \"shards1_peak_rss_kb\": %d\n", day_rss
 	printf "    }\n"
 	printf "  }\n"
 	printf "}\n"
-}' "$MICRO" > "$OUT"
+}' > "$OUT"
 
 echo "wrote $OUT"
 
 # The unified perf trajectory: one flat {bench, value, unit, pr} row per
-# headline number. PR2/3/6/7 rows are the recorded results from
-# BENCH_PR2/3/6/7.json (same host); PR8 rows are this run.
-PARSE_MBPS="$(awk '/^BenchmarkParseTrace/ { for (i = 2; i <= NF; i++) if ($(i) == "MB/s") { s += $(i-1); n++ } } END { printf "%.2f", (n > 0 ? s / n : 0) }' "$MICRO")"
-BATCH_NS="$(awk '/^BenchmarkScheduleBatch-/ || /^BenchmarkScheduleBatch / { for (i = 2; i <= NF; i++) if ($(i) == "ns/op") { s += $(i-1); n++ } } END { printf "%.2f", (n > 0 ? s / n : 0) }' "$MICRO")"
-awk -v s1_ms="$s1_ms" -v inv="$INV" -v events="$EVENTS" -v rss1="$RSS1" \
-	-v rss_half="$RSS_HALF" -v parse_mbps="$PARSE_MBPS" -v batch_ns="$BATCH_NS" '
+# headline number. PR2/3/6/7/8 rows are the recorded results from
+# BENCH_PR2/3/6/7/8.json (same host); PR10 rows are this run.
+awk -v s1_ms="$s1_ms" -v events="$EVENTS" -v rss1="$RSS1" -v day_ms="$day_ms" \
+	-v day_events="$DAY_EVENTS" '
 BEGIN {
 	eps1 = s1_ms > 0 ? events * 1000.0 / s1_ms : 0
+	day_eps = day_ms > 0 ? day_events * 1000.0 / day_ms : 0
 	printf "[\n"
 	printf "  {\"bench\": \"sim_schedule_run\", \"value\": 12.33, \"unit\": \"ns/op\", \"pr\": 2},\n"
 	printf "  {\"bench\": \"cebench_all_parallel\", \"value\": 7518, \"unit\": \"ms\", \"pr\": 2},\n"
@@ -178,12 +161,15 @@ BEGIN {
 	printf "  {\"bench\": \"macro_day_shards1_peak_rss\", \"value\": 10024, \"unit\": \"kB\", \"pr\": 6},\n"
 	printf "  {\"bench\": \"decision_fleet\", \"value\": 1398, \"unit\": \"ns/op\", \"pr\": 7},\n"
 	printf "  {\"bench\": \"macro_fleet_shards1\", \"value\": 138182, \"unit\": \"decisions/s\", \"pr\": 7},\n"
-	printf "  {\"bench\": \"trace_parse\", \"value\": %s, \"unit\": \"MB/s\", \"pr\": 8},\n", parse_mbps
-	printf "  {\"bench\": \"sim_schedule_batch\", \"value\": %s, \"unit\": \"ns/op\", \"pr\": 8},\n", batch_ns
-	printf "  {\"bench\": \"macro_trace_invocations\", \"value\": %d, \"unit\": \"invocations\", \"pr\": 8},\n", inv
-	printf "  {\"bench\": \"macro_trace_shards1\", \"value\": %.0f, \"unit\": \"events/s\", \"pr\": 8},\n", eps1
-	printf "  {\"bench\": \"macro_trace_shards1_peak_rss\", \"value\": %d, \"unit\": \"kB\", \"pr\": 8},\n", rss1
-	printf "  {\"bench\": \"macro_trace_half_horizon_peak_rss\", \"value\": %d, \"unit\": \"kB\", \"pr\": 8}\n", rss_half
+	printf "  {\"bench\": \"trace_parse\", \"value\": 611.96, \"unit\": \"MB/s\", \"pr\": 8},\n"
+	printf "  {\"bench\": \"sim_schedule_batch\", \"value\": 57.58, \"unit\": \"ns/op\", \"pr\": 8},\n"
+	printf "  {\"bench\": \"macro_trace_invocations\", \"value\": 11769377, \"unit\": \"invocations\", \"pr\": 8},\n"
+	printf "  {\"bench\": \"macro_trace_shards1\", \"value\": 2293120, \"unit\": \"events/s\", \"pr\": 8},\n"
+	printf "  {\"bench\": \"macro_trace_shards1_peak_rss\", \"value\": 35224, \"unit\": \"kB\", \"pr\": 8},\n"
+	printf "  {\"bench\": \"macro_trace_half_horizon_peak_rss\", \"value\": 35336, \"unit\": \"kB\", \"pr\": 8},\n"
+	printf "  {\"bench\": \"macro_chaos_shards1\", \"value\": %.0f, \"unit\": \"events/s\", \"pr\": 10},\n", eps1
+	printf "  {\"bench\": \"macro_chaos_shards1_peak_rss\", \"value\": %d, \"unit\": \"kB\", \"pr\": 10},\n", rss1
+	printf "  {\"bench\": \"macro_day_ref_shards1\", \"value\": %.0f, \"unit\": \"events/s\", \"pr\": 10}\n", day_eps
 	printf "]\n"
 }' > "$UNIFIED"
 

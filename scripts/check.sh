@@ -36,7 +36,7 @@ go test -run 'TestKernelMatchesReferenceHeap|TestRunUntilNeverMovesClockBackward
 
 echo "== shard determinism gate (byte-identical at every shard count and worker count)"
 go test -run 'TestCrossShardWorkloadMatrix|TestLookaheadWindowsMatchSingleWindow|TestShardScheduleAndMerge' ./internal/sim/
-go test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix|TestMacroTraceShardMatrix|TestMacroTraceKindsShardStable' ./internal/experiments/
+go test -run 'TestMacroDayShardMatrix|TestMacroFleetShardMatrix|TestMacroTraceShardMatrix|TestMacroTraceKindsShardStable|TestMacroChaosShardMatrix' ./internal/experiments/
 go build -o /tmp/cebench.check ./cmd/cebench
 /tmp/cebench.check -shards 1 -sim-workers 1 macro-day 2>/dev/null > /tmp/cebench.shards1.txt
 /tmp/cebench.check -shards 8 -sim-workers 8 macro-day 2>/dev/null > /tmp/cebench.shards8.txt
@@ -87,6 +87,18 @@ printf '12,3,0,7,1,9\n0,8,2,4,6,0\n5,5,5,5,5,5\n' > /tmp/cebench.traffic.trace
 cmp /tmp/cebench.replay.s1w1.txt /tmp/cebench.replay.s8w8.txt || {
 	echo "cebench macro-trace trace replay differs between shards=1 and shards=8/workers=8"; exit 1;
 }
+
+echo "== macro-chaos determinism matrix (fault injection, shards x workers)"
+for cfg in "1 1" "2 8" "8 1" "8 8"; do
+	set -- $cfg
+	/tmp/cebench.check -shards "$1" -sim-workers "$2" \
+		macro-chaos 2>/dev/null > "/tmp/cebench.chaos.s$1w$2.txt"
+done
+for f in /tmp/cebench.chaos.s2w8.txt /tmp/cebench.chaos.s8w1.txt /tmp/cebench.chaos.s8w8.txt; do
+	cmp /tmp/cebench.chaos.s1w1.txt "$f" || {
+		echo "cebench macro-chaos stdout differs across the shard matrix ($f)"; exit 1;
+	}
+done
 
 echo "== trace-check (observability export byte-identical across -parallel)"
 sh scripts/trace_check.sh
